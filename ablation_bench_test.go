@@ -1,0 +1,171 @@
+package gxplug_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// toggles exactly one middleware mechanism and reports the speedup it
+// buys on a fixed workload (PowerGraph+GPU, Orkut stand-in). These
+// complement the figure benchmarks: Fig 10/11 show the paper's chosen
+// comparisons, the ablations isolate one knob at a time.
+
+import (
+	"testing"
+	"time"
+
+	"gxplug/internal/algos"
+	"gxplug/internal/engine"
+	"gxplug/internal/engine/graphx"
+	"gxplug/internal/engine/powergraph"
+	"gxplug/internal/gen"
+	"gxplug/internal/graph"
+	"gxplug/internal/gxplug"
+	"gxplug/internal/gxplug/template"
+	"gxplug/internal/harness"
+)
+
+const ablationScale = 1000
+
+func ablationGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.Load(gen.Orkut, ablationScale, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func ablationAlg(g *graph.Graph) template.Algorithm {
+	return algos.NewSSSPBF(algos.DefaultSources(g.NumVertices()))
+}
+
+// runToggled measures a run with a mutated option set against the default.
+func runToggled(b *testing.B, g *graph.Graph, mutate func(*gxplug.Options)) (on, off time.Duration) {
+	b.Helper()
+	alg := ablationAlg(g)
+	base := harness.GPUPlug(ablationScale, 1)
+	toggled := base
+	mutate(&toggled)
+	for _, cfg := range []struct {
+		opts gxplug.Options
+		dst  *time.Duration
+	}{{base, &on}, {toggled, &off}} {
+		res, err := powergraph.Run(engine.Config{
+			Nodes: 4, Graph: g, Alg: alg, Plug: []gxplug.Options{cfg.opts},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		*cfg.dst = res.Time
+	}
+	return on, off
+}
+
+func BenchmarkAblationPipelineShuffle(b *testing.B) {
+	g := ablationGraph(b)
+	for i := 0; i < b.N; i++ {
+		on, off := runToggled(b, g, func(o *gxplug.Options) { o.Pipeline = false })
+		b.ReportMetric(off.Seconds()/on.Seconds(), "speedup")
+	}
+}
+
+func BenchmarkAblationOptimalBlockSize(b *testing.B) {
+	g := ablationGraph(b)
+	for i := 0; i < b.N; i++ {
+		on, off := runToggled(b, g, func(o *gxplug.Options) {
+			o.OptimalBlockSize = false
+			o.FixedBlockCount = 32
+		})
+		b.ReportMetric(off.Seconds()/on.Seconds(), "speedup")
+	}
+}
+
+func BenchmarkAblationSyncCaching(b *testing.B) {
+	g := ablationGraph(b)
+	for i := 0; i < b.N; i++ {
+		on, off := runToggled(b, g, func(o *gxplug.Options) { o.Caching = false })
+		b.ReportMetric(off.Seconds()/on.Seconds(), "speedup")
+	}
+}
+
+func BenchmarkAblationSyncSkipping(b *testing.B) {
+	// Skipping needs locality: the clustered road network is its habitat.
+	g, err := gen.Load(gen.WRN, ablationScale, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := algos.NewSSSPBF([]graph.VertexID{0})
+	for i := 0; i < b.N; i++ {
+		var times [2]time.Duration
+		for k, skip := range []bool{true, false} {
+			o := harness.GPUPlug(ablationScale, 1)
+			o.Skipping = skip
+			res, err := graphx.Run(engine.Config{
+				Nodes: 4, Graph: g, Alg: alg, Plug: []gxplug.Options{o},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			times[k] = res.Time
+		}
+		b.ReportMetric(times[1].Seconds()/times[0].Seconds(), "speedup")
+	}
+}
+
+// Partitioner ablation: the engines default to locality-preserving cuts;
+// a random hash cut destroys both skipping and mirror locality.
+func BenchmarkAblationPartitioner(b *testing.B) {
+	g := ablationGraph(b)
+	alg := ablationAlg(g)
+	for i := 0; i < b.N; i++ {
+		var times [2]time.Duration
+		for k, part := range []*graph.Partitioning{
+			graph.EdgeCutByRange(g, 4),
+			graph.EdgeCutByHash(g, 4),
+		} {
+			res, err := graphx.Run(engine.Config{
+				Nodes: 4, Graph: g, Alg: alg, Partitioning: part,
+				Plug: []gxplug.Options{harness.GPUPlug(ablationScale, 1)},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			times[k] = res.Time
+		}
+		b.ReportMetric(times[1].Seconds()/times[0].Seconds(), "range-over-hash")
+	}
+}
+
+// Per-algorithm device throughput on the template path: edges processed
+// per second of virtual device time.
+func BenchmarkAlgorithmsOnDaemon(b *testing.B) {
+	g := ablationGraph(b)
+	algs := []template.Algorithm{
+		algos.NewPageRank(),
+		algos.NewSSSPBF(algos.DefaultSources(g.NumVertices())),
+		algos.NewLP(),
+		algos.NewCC(),
+		algos.NewKCore(3),
+		algos.NewKHopBFS([]graph.VertexID{0}, 0),
+	}
+	for _, alg := range algs {
+		alg := alg
+		b.Run(alg.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := powergraph.Run(engine.Config{
+					Nodes: 2, Graph: g, Alg: alg, MaxIter: 10,
+					Plug: []gxplug.Options{harness.GPUPlug(ablationScale, 1)},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var entities int64
+				var dev time.Duration
+				for _, s := range res.AgentStats {
+					entities += s.Entities
+					dev += s.DeviceTime
+				}
+				if dev > 0 {
+					b.ReportMetric(float64(entities)/dev.Seconds()/1e6, "Medges/devsec")
+				}
+			}
+		})
+	}
+}

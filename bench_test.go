@@ -1,0 +1,216 @@
+package gxplug_test
+
+// One benchmark per table and figure of the paper's evaluation (§V).
+// Each benchmark runs the corresponding harness experiment and prints the
+// same rows/series the paper plots; the headline quantity is also
+// reported as a custom benchmark metric so `go test -bench` output is
+// comparable across runs.
+//
+// Scales: most benchmarks run the 1/1000 stand-ins ("Default"); the two
+// whole-grid experiments (Fig 8 across four datasets, Fig 9b on Twitter
+// and UK-2007) use 1/2000 to keep a full -bench=. pass in minutes. The
+// gxbench command runs any experiment at any scale.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gxplug/internal/gen"
+	"gxplug/internal/harness"
+)
+
+var printOnce sync.Map
+
+// printResult emits an experiment's textual figure exactly once per
+// benchmark name, so -bench=. output contains every reproduced series.
+func printResult(name string, s fmt.Stringer) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n%s\n", s)
+	}
+}
+
+func benchOpts() harness.Options  { return harness.Default() }
+func coarseOpts() harness.Options { return harness.Options{Scale: 2000, Seed: 42} }
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.TableDatasets(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("table1", res)
+	}
+}
+
+func BenchmarkFig8_AllSystems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig8(coarseOpts(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig8", res)
+		b.ReportMetric(res.Speedup(gen.Orkut, "LP", harness.SysGraphXGPU), "orkut-LP-GraphX+GPU-speedup")
+		b.ReportMetric(res.Speedup(gen.Orkut, "SSSP-BF", harness.SysPowerGraphGPU), "orkut-SSSP-PG+GPU-speedup")
+	}
+}
+
+func BenchmarkFig9a_Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig9a(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig9a", res)
+		if gx, ok := res.Entry("GX-Plug+PowerGraph", 12); ok {
+			b.ReportMetric(gx.Time.Seconds(), "gxplug-12gpu-sec")
+		}
+	}
+}
+
+func BenchmarkFig9b_LargeGraphs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig9b(coarseOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig9b", res)
+		gx, _ := res.Entry(gen.Twitter, "GX-Plug+PowerGraph", 4)
+		lux, _ := res.Entry(gen.Twitter, "Lux", 4)
+		if gx.Time > 0 && lux.Time > 0 {
+			b.ReportMetric(lux.Time.Seconds()/gx.Time.Seconds(), "TW@4-lead-over-lux")
+		}
+	}
+}
+
+func BenchmarkFig9c_Algos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig9c(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig9c", res)
+		e1, _ := res.Entry("SSSP-BF", 2)
+		e2, _ := res.Entry("SSSP-BF", 4)
+		if e2.Time > 0 {
+			b.ReportMetric(e1.Time.Seconds()/e2.Time.Seconds(), "sssp-2to4gpu-speedup")
+		}
+	}
+}
+
+func BenchmarkFig9d_MixMatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig9d(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig9d", res)
+	}
+}
+
+func BenchmarkFig10_Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig10", res)
+		opt, _ := res.Entry("SSSP-BF", "Pipeline*")
+		without, _ := res.Entry("SSSP-BF", "WithoutPipeline")
+		if opt > 0 {
+			b.ReportMetric(without.Seconds()/opt.Seconds(), "sssp-pipeline-speedup")
+		}
+	}
+}
+
+func BenchmarkFig11a_Caching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig11a(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig11a", res)
+		off, _ := res.Entry("GraphX", gen.Orkut, false)
+		on, _ := res.Entry("GraphX", gen.Orkut, true)
+		if on > 0 {
+			b.ReportMetric(off.Seconds()/on.Seconds(), "graphx-caching-speedup")
+		}
+	}
+}
+
+func BenchmarkFig11b_Skipping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig11b(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig11b", res)
+		if sk, tot, ok := res.Entry(gen.WRN); ok && tot > 0 {
+			b.ReportMetric(100*float64(sk)/float64(tot), "wrn-skip-pct")
+		}
+	}
+}
+
+func BenchmarkFig12a_BalanceData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig12a(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig12a", res)
+		if e, ok := res.Entry("SSSP-BF"); ok && e.Balanced > 0 {
+			b.ReportMetric(e.NotBalanced.Seconds()/e.Balanced.Seconds(), "sssp-balance-gain")
+		}
+	}
+}
+
+func BenchmarkFig12b_BalanceDevices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig12b(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig12b", res)
+	}
+}
+
+func BenchmarkFig13_Isolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig13(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig13", res)
+		_, _, daemon, _ := res.Entry("Daemon")
+		_, _, raw, _ := res.Entry("Raw call")
+		if daemon > 0 {
+			b.ReportMetric(raw.Seconds()/daemon.Seconds(), "rawcall-slowdown")
+		}
+	}
+}
+
+func BenchmarkFig14_CostRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig14(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig14", res)
+		if r, ok := res.Entry("PowerGraph", "PageRank", 32); ok {
+			b.ReportMetric(100*r, "pg-pr-32node-mw-pct")
+		}
+	}
+}
+
+func BenchmarkFig15_BlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig15(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("fig15", res)
+		if s, ok := res.SeriesFor("SSSP-BF"); ok {
+			b.ReportMetric(float64(s.EstOpt), "sssp-est-sopt")
+		}
+	}
+}

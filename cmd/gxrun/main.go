@@ -1,0 +1,137 @@
+// Command gxrun executes one graph algorithm on one engine configuration
+// end-to-end and reports timing, iteration counts and optimization
+// statistics.
+//
+//	gxrun -engine powergraph -algo pagerank -dataset orkut -nodes 4 -gpus 2
+//	gxrun -engine graphx -algo sssp -dataset wrn -nodes 4 -accel cpu
+//	gxrun -engine graphx -algo lp -dataset livejournal -accel none
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gxplug/internal/algos"
+	"gxplug/internal/device"
+	"gxplug/internal/engine"
+	"gxplug/internal/engine/graphx"
+	"gxplug/internal/engine/powergraph"
+	"gxplug/internal/gen"
+	"gxplug/internal/graph"
+	"gxplug/internal/gxplug"
+	"gxplug/internal/gxplug/template"
+	"gxplug/internal/harness"
+)
+
+func main() {
+	var (
+		engineName = flag.String("engine", "powergraph", "graphx | powergraph")
+		algoName   = flag.String("algo", "pagerank", "pagerank | sssp | lp | cc | kcore")
+		dataset    = flag.String("dataset", "orkut", "dataset stand-in name")
+		scale      = flag.Int64("scale", 1000, "dataset scale divisor")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		nodes      = flag.Int("nodes", 4, "distributed nodes")
+		accel      = flag.String("accel", "gpu", "gpu | cpu | none")
+		gpus       = flag.Int("gpus", 1, "GPU daemons per node when -accel gpu")
+		maxIter    = flag.Int("maxiter", 0, "iteration cap (0 = algorithm default)")
+		k          = flag.Int("k", 3, "k for -algo kcore")
+		noOpt      = flag.Bool("no-opt", false, "disable pipeline/caching/skipping optimizations")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	g, err := gen.Load(gen.Dataset(*dataset), *scale, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	var alg template.Algorithm
+	switch *algoName {
+	case "pagerank":
+		alg = algos.NewPageRank()
+	case "sssp":
+		alg = algos.NewSSSPBF(algos.DefaultSources(g.NumVertices()))
+	case "lp":
+		alg = algos.NewLP()
+	case "cc":
+		alg = algos.NewCC()
+	case "kcore":
+		alg = algos.NewKCore(*k)
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+
+	var plug []gxplug.Options
+	switch *accel {
+	case "none":
+	case "cpu":
+		o := gxplug.DefaultOptions()
+		o.Devices = []device.Spec{device.Xeon20()}
+		if *noOpt {
+			o.Pipeline, o.Caching, o.Skipping, o.OptimalBlockSize = false, false, false, false
+		}
+		plug = []gxplug.Options{o}
+	case "gpu":
+		o := harness.GPUPlug(*scale, *gpus)
+		if *noOpt {
+			o.Pipeline, o.Caching, o.Skipping, o.OptimalBlockSize = false, false, false, false
+		}
+		plug = []gxplug.Options{o}
+	default:
+		fail(fmt.Errorf("unknown accelerator %q", *accel))
+	}
+
+	run := powergraph.Run
+	if *engineName == "graphx" {
+		run = graphx.Run
+	} else if *engineName != "powergraph" {
+		fail(fmt.Errorf("unknown engine %q", *engineName))
+	}
+
+	res, err := run(engine.Config{
+		Nodes: *nodes, Graph: g, Alg: alg, Plug: plug, MaxIter: *maxIter,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	st := g.Stats()
+	fmt.Printf("%s on %s (%dV/%dE) over %d nodes, accel=%s\n",
+		alg.Name(), *dataset, st.Vertices, st.Edges, *nodes, *accel)
+	fmt.Printf("  time        : %v\n", res.Time)
+	fmt.Printf("  iterations  : %d (%d syncs skipped)\n", res.Iterations, res.SkippedSyncs)
+	if plug != nil {
+		total := res.MiddlewareTime + res.UpperTime
+		fmt.Printf("  middleware  : %v (%.0f%% of node time)\n",
+			res.MiddlewareTime, 100*float64(res.MiddlewareTime)/float64(total))
+		var entities, blocks, hits, misses int64
+		for _, s := range res.AgentStats {
+			entities += s.Entities
+			blocks += s.Blocks
+			hits += s.CacheHits
+			misses += s.CacheMisses
+		}
+		fmt.Printf("  entities    : %d in %d blocks\n", entities, blocks)
+		if hits+misses > 0 {
+			fmt.Printf("  cache       : %.0f%% hit rate\n", 100*float64(hits)/float64(hits+misses))
+		}
+	}
+	// A tiny result digest so runs are comparable.
+	var sum float64
+	finite := 0
+	for _, v := range res.Attrs {
+		if !isInf(v) {
+			sum += v
+			finite++
+		}
+	}
+	fmt.Printf("  result      : %d finite attribute values, sum %.4f\n", finite, sum)
+	_ = graph.VertexID(0)
+}
+
+func isInf(v float64) bool { return v > 1e308 || v < -1e308 }

@@ -1,0 +1,18 @@
+// Package gxplug is a from-scratch Go reproduction of "GX-Plug: a
+// Middleware for Plugging Accelerators to Distributed Graph Processing"
+// (Zou, Xie, Li, Kong — ICDE 2022).
+//
+// The repository contains the middleware itself (the daemon-agent
+// framework with pipeline shuffle, synchronization caching and skipping,
+// and workload balancing), every substrate it depends on (a System V IPC
+// layer, an accelerator simulator, GraphX-class and PowerGraph-class
+// distributed engines, dataset generators), the baselines it is compared
+// against (Gunrock-class and Lux-class engines), and a harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// Start with DESIGN.md for the system inventory and the substitutions
+// made for hardware this environment cannot reach, EXPERIMENTS.md for the
+// paper-versus-measured record, and examples/quickstart for the smallest
+// end-to-end program. The benchmark file bench_test.go in this directory
+// has one testing.B benchmark per table and figure.
+package gxplug

@@ -1,0 +1,67 @@
+package algos
+
+import (
+	"math"
+	"testing"
+
+	"gxplug/internal/gen"
+	"gxplug/internal/graph"
+)
+
+func TestKHopBFSMatchesReference(t *testing.T) {
+	g := smallSocial(t)
+	srcs := []graph.VertexID{0, 7}
+	for _, k := range []int{0, 1, 2, 3} {
+		alg := NewKHopBFS(srcs, k)
+		got, _ := runTemplate(g, alg)
+		want := RefKHopBFS(g, srcs, k)
+		if !almostEqual(got, want, 0) {
+			t.Fatalf("k=%d: template BFS diverges from reference", k)
+		}
+	}
+}
+
+func TestKHopBFSHandGraph(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3, bound 2: vertex 3 stays unreached.
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1}, {Src: 2, Dst: 3, Weight: 1},
+	})
+	got, _ := runTemplate(g, NewKHopBFS([]graph.VertexID{0}, 2))
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("hops wrong: %v", got)
+	}
+	if !math.IsInf(got[3], 1) {
+		t.Fatalf("vertex beyond bound reached: %v", got[3])
+	}
+}
+
+func TestKHopBFSUnbounded(t *testing.T) {
+	g, err := gen.Road(gen.RoadConfig{Rows: 8, Cols: 8, DiagonalFraction: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := runTemplate(g, NewKHopBFS([]graph.VertexID{0}, 0))
+	// Unbounded BFS on a connected grid reaches everything; the far
+	// corner is exactly (rows-1)+(cols-1) hops away.
+	for v, h := range got {
+		if math.IsInf(h, 1) {
+			t.Fatalf("vertex %d unreached by unbounded BFS", v)
+		}
+	}
+	if got[63] != 14 {
+		t.Fatalf("far corner at %v hops, want 14", got[63])
+	}
+}
+
+func TestKHopBFSValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewKHopBFS(nil, 1) },
+		func() { NewKHopBFS([]graph.VertexID{0}, -1) },
+	} {
+		func() {
+			defer func() { recover() }()
+			f()
+			t.Error("invalid config accepted")
+		}()
+	}
+}

@@ -1,0 +1,210 @@
+// Package baseline_test exercises the Gunrock- and Lux-class comparators
+// together, including the cross-system orderings Fig 9 depends on.
+package baseline_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gxplug/internal/algos"
+	"gxplug/internal/baseline/gunrock"
+	"gxplug/internal/baseline/lux"
+	"gxplug/internal/device"
+	"gxplug/internal/gen"
+	"gxplug/internal/graph"
+)
+
+func socialGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Load(gen.Orkut, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func maxDiff(a, b []float64) float64 {
+	var worst float64
+	for i := range a {
+		if math.IsInf(a[i], 1) && math.IsInf(b[i], 1) {
+			continue
+		}
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestGunrockCorrectness(t *testing.T) {
+	g := socialGraph(t)
+	pr := algos.NewPageRank()
+	res, err := gunrock.Run(gunrock.Config{Graph: g, Alg: pr, GPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := algos.RefPageRank(g, pr.Damping, pr.Tol, 0)
+	if d := maxDiff(res.Attrs, want); d > 1e-12 {
+		t.Fatalf("gunrock PageRank diverges by %v", d)
+	}
+	if res.Time <= 0 || res.Iterations == 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+func TestGunrockRejectsMultiGPU(t *testing.T) {
+	g := socialGraph(t)
+	_, err := gunrock.Run(gunrock.Config{Graph: g, Alg: algos.NewPageRank(), GPUs: 2})
+	if !errors.Is(err, gunrock.ErrNoMultiGPU) {
+		t.Fatalf("err = %v, want ErrNoMultiGPU", err)
+	}
+	if _, err := gunrock.Run(gunrock.Config{Graph: g, Alg: algos.NewPageRank(), GPUs: 0}); err == nil {
+		t.Fatal("0 GPUs accepted")
+	}
+}
+
+func TestGunrockOOM(t *testing.T) {
+	g := socialGraph(t)
+	spec := device.V100()
+	spec.MemBytes = 1024
+	_, err := gunrock.Run(gunrock.Config{Graph: g, Alg: algos.NewPageRank(), GPUs: 1, Device: spec})
+	if !errors.Is(err, device.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestGunrockNilConfig(t *testing.T) {
+	if _, err := gunrock.Run(gunrock.Config{GPUs: 1}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestLuxCorrectness(t *testing.T) {
+	g := socialGraph(t)
+	srcs := algos.DefaultSources(g.NumVertices())
+	alg := algos.NewSSSPBF(srcs)
+	res, err := lux.Run(lux.Config{Graph: g, Alg: alg, GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := algos.RefSSSPBF(g, srcs)
+	if d := maxDiff(res.Attrs, want); d > 1e-9 {
+		t.Fatalf("lux SSSP diverges by %v", d)
+	}
+}
+
+func TestLuxScalesWithGPUs(t *testing.T) {
+	// Dense enough that per-GPU compute dominates the same-node sync.
+	g, err := gen.Load(gen.Orkut, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := algos.NewPageRank()
+	timeAt := func(gpus int) float64 {
+		res, err := lux.Run(lux.Config{Graph: g, Alg: pr, GPUs: gpus})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time.Seconds()
+	}
+	t1, t2 := timeAt(1), timeAt(2)
+	if t2 >= t1 {
+		t.Fatalf("lux 2 GPUs (%v) not faster than 1 (%v)", t2, t1)
+	}
+}
+
+func TestLuxSyncGrowsWithGPUs(t *testing.T) {
+	g := socialGraph(t)
+	pr := algos.NewPageRank()
+	syncAt := func(gpus int) float64 {
+		res, err := lux.Run(lux.Config{Graph: g, Alg: pr, GPUs: gpus})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SyncTime.Seconds()
+	}
+	if s1 := syncAt(1); s1 != 0 {
+		t.Fatalf("single-GPU lux has sync time %v", s1)
+	}
+	if syncAt(4) <= 0 {
+		t.Fatal("multi-GPU lux has no sync time")
+	}
+}
+
+func TestLuxOOM(t *testing.T) {
+	g := socialGraph(t)
+	spec := device.V100()
+	spec.MemBytes = 2048
+	_, err := lux.Run(lux.Config{Graph: g, Alg: algos.NewPageRank(), GPUs: 2, Device: spec})
+	if !errors.Is(err, device.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestLuxBadConfig(t *testing.T) {
+	if _, err := lux.Run(lux.Config{GPUs: 1}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := lux.Run(lux.Config{Graph: socialGraph(t), Alg: algos.NewCC(), GPUs: 0}); err == nil {
+		t.Fatal("0 GPUs accepted")
+	}
+}
+
+// Fig 9a's single-GPU ordering: Gunrock is the fastest system on one GPU.
+func TestGunrockBeatsLuxSingleGPU(t *testing.T) {
+	g := socialGraph(t)
+	pr := algos.NewPageRank()
+	gr, err := gunrock.Run(gunrock.Config{Graph: g, Alg: pr, GPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lx, err := lux.Run(lux.Config{Graph: g, Alg: pr, GPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Time >= lx.Time {
+		t.Fatalf("gunrock (%v) not faster than lux (%v) at 1 GPU", gr.Time, lx.Time)
+	}
+}
+
+// Both baselines agree with each other on results (they run the same
+// algorithm semantics).
+func TestBaselinesAgree(t *testing.T) {
+	g := socialGraph(t)
+	lp := algos.NewLP()
+	gr, err := gunrock.Run(gunrock.Config{Graph: g, Alg: lp, GPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lx, err := lux.Run(lux.Config{Graph: g, Alg: lp, GPUs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(gr.Attrs, lx.Attrs); d != 0 {
+		t.Fatalf("baselines disagree by %v", d)
+	}
+	if gr.Iterations != lx.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", gr.Iterations, lx.Iterations)
+	}
+}
+
+// MaxIter caps both baselines.
+func TestBaselineMaxIter(t *testing.T) {
+	g := socialGraph(t)
+	pr := algos.NewPageRank()
+	gr, err := gunrock.Run(gunrock.Config{Graph: g, Alg: pr, GPUs: 1, MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Iterations != 2 {
+		t.Fatalf("gunrock iterations = %d, want 2", gr.Iterations)
+	}
+	lx, err := lux.Run(lux.Config{Graph: g, Alg: pr, GPUs: 2, MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lx.Iterations != 2 {
+		t.Fatalf("lux iterations = %d, want 2", lx.Iterations)
+	}
+}

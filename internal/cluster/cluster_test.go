@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testNet() NetworkSpec {
+	return NetworkSpec{
+		Latency:         time.Millisecond,
+		Bandwidth:       1e6, // 1 MB/s: easy arithmetic
+		BarrierOverhead: time.Millisecond,
+	}
+}
+
+func TestNewPanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0-node cluster accepted")
+		}
+	}()
+	New(0, testNet())
+}
+
+func TestNodesIndependentClocks(t *testing.T) {
+	c := New(3, testNet())
+	c.Node(0).Charge("work", 5*time.Second)
+	c.Node(2).Charge("work", 2*time.Second)
+	if c.Node(1).Clock.Now() != 0 {
+		t.Fatal("charging node 0 moved node 1's clock")
+	}
+	if c.MaxTime() != 5*time.Second {
+		t.Fatalf("MaxTime = %v, want 5s", c.MaxTime())
+	}
+}
+
+func TestChargeBuckets(t *testing.T) {
+	c := New(1, testNet())
+	n := c.Node(0)
+	n.Charge("middleware", time.Second)
+	n.Charge("upper", 2*time.Second)
+	n.Charge("middleware", time.Second)
+	if n.Bucket("middleware") != 2*time.Second || n.Bucket("upper") != 2*time.Second {
+		t.Fatalf("buckets wrong: %v", n.Buckets())
+	}
+	if n.Clock.Now() != 4*time.Second {
+		t.Fatalf("clock = %v, want 4s", n.Clock.Now())
+	}
+	b := n.Buckets()
+	b["middleware"] = 0 // mutate copy
+	if n.Bucket("middleware") != 2*time.Second {
+		t.Fatal("Buckets() exposed internal map")
+	}
+}
+
+func TestBarrierEqualizesClocks(t *testing.T) {
+	c := New(4, testNet())
+	c.Node(1).Charge("work", 10*time.Second)
+	c.Barrier("sync")
+	want := 10*time.Second + 2*time.Millisecond // log2(4)=2 overhead units
+	for j := 0; j < 4; j++ {
+		if got := c.Node(j).Clock.Now(); got != want {
+			t.Fatalf("node %d clock = %v, want %v", j, got, want)
+		}
+	}
+	if c.Barriers() != 1 {
+		t.Fatalf("barrier count = %d", c.Barriers())
+	}
+	// The slow node waited zero time: its sync bucket holds only overhead.
+	if got := c.Node(1).Bucket("sync"); got != 2*time.Millisecond {
+		t.Fatalf("slow node waited %v, want just overhead", got)
+	}
+}
+
+func TestExchangeChargesVolumes(t *testing.T) {
+	c := New(2, testNet())
+	vol := [][]int64{
+		{0, 2_000_000}, // node 0 sends 2MB to node 1
+		{0, 0},
+	}
+	c.Exchange("net", vol)
+	// Node 0: 1 peer latency + 2MB/1MBps = 1ms + 2s, plus barrier wait.
+	// After barrier both clocks equal.
+	if c.Node(0).Clock.Now() != c.Node(1).Clock.Now() {
+		t.Fatal("exchange did not end at a barrier")
+	}
+	if c.MaxTime() < 2*time.Second {
+		t.Fatalf("MaxTime %v too small for a 2MB transfer at 1MB/s", c.MaxTime())
+	}
+	if c.MaxTime() > 3*time.Second {
+		t.Fatalf("MaxTime %v too large", c.MaxTime())
+	}
+}
+
+func TestExchangeFullDuplex(t *testing.T) {
+	// Symmetric send/recv should cost the max of the directions, not sum.
+	c := New(2, testNet())
+	vol := [][]int64{{0, 1_000_000}, {1_000_000, 0}}
+	c.Exchange("net", vol)
+	// Each node: 1ms latency + max(1MB,1MB)/1MBps = ~1.001s, + barrier.
+	if c.MaxTime() > 1500*time.Millisecond {
+		t.Fatalf("duplex exchange cost %v, want ~1s not ~2s", c.MaxTime())
+	}
+}
+
+func TestExchangePanicsOnBadMatrix(t *testing.T) {
+	c := New(2, testNet())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad matrix accepted")
+		}
+	}()
+	c.Exchange("net", [][]int64{{0}})
+}
+
+func TestBroadcast(t *testing.T) {
+	c := New(4, testNet())
+	c.Broadcast("net", 0, 1_000_000)
+	if c.Node(0).Clock.Now() != c.Node(3).Clock.Now() {
+		t.Fatal("broadcast did not barrier")
+	}
+	// Sender pays log2(4)=2 hops of ~1s each; receivers ~1s; barrier syncs.
+	if c.MaxTime() < 2*time.Second || c.MaxTime() > 3*time.Second {
+		t.Fatalf("broadcast makespan %v, want ~2s", c.MaxTime())
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	c := New(3, testNet())
+	c.AllGather("net", []int64{1_000_000, 0, 0})
+	// Nodes 1 and 2 receive 1MB; node 0 receives 0 but still barriers.
+	if c.Node(0).Clock.Now() != c.Node(2).Clock.Now() {
+		t.Fatal("allgather did not barrier")
+	}
+	if c.MaxTime() < time.Second {
+		t.Fatalf("allgather makespan %v too small", c.MaxTime())
+	}
+}
+
+func TestAllGatherPanicsOnBadLen(t *testing.T) {
+	c := New(2, testNet())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad contribution vector accepted")
+		}
+	}()
+	c.AllGather("net", []int64{1})
+}
+
+func TestTotalBucket(t *testing.T) {
+	c := New(2, testNet())
+	c.Node(0).Charge("mw", time.Second)
+	c.Node(1).Charge("mw", 3*time.Second)
+	if c.TotalBucket("mw") != 4*time.Second {
+		t.Fatalf("TotalBucket = %v", c.TotalBucket("mw"))
+	}
+}
+
+func TestPerNodeIPCIsolation(t *testing.T) {
+	c := New(2, testNet())
+	seg, err := c.Node(0).IPC.Shmget(1, 64, 1) // shm.Create == 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = seg
+	// The same key on node 1's namespace must not exist.
+	if _, err := c.Node(1).IPC.Shmget(1, 64, 0); err == nil { // shm.Open == 0
+		t.Fatal("IPC namespaces shared across nodes")
+	}
+}
+
+// Property: barriers are idempotent on already-synchronized clusters up to
+// the fixed overhead, and MaxTime never decreases.
+func TestBarrierMonotoneQuick(t *testing.T) {
+	f := func(charges []uint16) bool {
+		c := New(4, testNet())
+		for i, ch := range charges {
+			c.Node(i%4).Charge("w", time.Duration(ch)*time.Millisecond)
+		}
+		before := c.MaxTime()
+		c.Barrier("sync")
+		mid := c.MaxTime()
+		c.Barrier("sync")
+		after := c.MaxTime()
+		return mid >= before && after >= mid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

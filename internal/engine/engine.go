@@ -1,0 +1,361 @@
+// Package engine provides the shared distributed-engine core that the
+// GraphX-class (BSP) and PowerGraph-class (GAS) upper systems instantiate.
+// An engine owns the authoritative vertex state, partitions the graph over
+// a simulated cluster, and runs iterations either on its native executor
+// (the paper's unaccelerated baselines) or through GX-Plug agents (the
+// accelerated configurations). All distributed-side costs — native
+// compute, per-superstep scheduling, message exchange, barriers — are
+// charged to the "upper" accounting bucket; everything the middleware does
+// lands in "middleware". Figure 14 is the ratio of the two.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"gxplug/internal/cluster"
+	"gxplug/internal/graph"
+	"gxplug/internal/gxplug"
+	"gxplug/internal/gxplug/template"
+	"gxplug/internal/simtime"
+)
+
+// Model selects the computation model, which fixes the API call order
+// (§IV-B2): BSP runs Gen→Merge→Apply, GAS runs Merge→Apply→Gen.
+type Model int
+
+const (
+	// BSP is the Pregel-style bulk-synchronous model (GraphX).
+	BSP Model = iota
+	// GAS is the Gather-Apply-Scatter model (PowerGraph).
+	GAS
+)
+
+func (m Model) String() string {
+	if m == GAS {
+		return "GAS"
+	}
+	return "BSP"
+}
+
+// Spec is the calibrated model of one upper system.
+type Spec struct {
+	Name  string
+	Model Model
+
+	// NativeRate is the effective operation rate (ops/second) of the
+	// engine's built-in executor on one node — low for JVM-based systems,
+	// native-code fast for C++ systems.
+	NativeRate float64
+	// SuperstepOverhead is the per-iteration scheduling cost (Spark DAG
+	// scheduling for GraphX; cheap loop control for PowerGraph).
+	SuperstepOverhead time.Duration
+	// BoundaryFixed and BoundaryBandwidth cost the runtime boundary an
+	// agent crosses per batch (JNI + data packager for GraphX; an
+	// in-process copy for PowerGraph).
+	BoundaryFixed     time.Duration
+	BoundaryBandwidth float64
+	// MsgByteFactor inflates wire volume for serialization overhead
+	// (JVM object headers); 1.0 for compact native layouts.
+	MsgByteFactor float64
+
+	// Partition builds the engine's default partitioning.
+	Partition func(g *graph.Graph, m int) *graph.Partitioning
+}
+
+// Config describes one run.
+type Config struct {
+	Spec  Spec
+	Nodes int
+	Graph *graph.Graph
+	Alg   template.Algorithm
+
+	// Partitioning overrides the engine default (used by the workload
+	// balancing experiments).
+	Partitioning *graph.Partitioning
+	// Plug enables the middleware: nil means native execution; one entry
+	// applies to every node; m entries configure nodes individually
+	// (heterogeneous accelerator mixes).
+	Plug []gxplug.Options
+	// MaxIter caps iterations on top of the algorithm's own cap.
+	MaxIter int
+	// Net overrides the cluster network (zero value: DatacenterNet).
+	Net cluster.NetworkSpec
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Attrs is the final authoritative attribute array (NumVertices × AttrWidth).
+	Attrs []float64
+	// Iterations executed (including skipped-sync iterations).
+	Iterations int
+	// SkippedSyncs counts iterations whose global synchronization was
+	// skipped (§III-B3).
+	SkippedSyncs int
+	// Time is the cluster makespan.
+	Time time.Duration
+	// MiddlewareTime and UpperTime split the summed per-node cost.
+	MiddlewareTime time.Duration
+	UpperTime      time.Duration
+	// AgentStats holds per-node middleware counters (nil when native).
+	AgentStats []gxplug.Stats
+	// Cluster exposes the underlying simulation for harness inspection.
+	Cluster *cluster.Cluster
+}
+
+const bucketUpper = "upper"
+
+// Run executes a full graph computation and returns the result. Results
+// are bit-compatible with the algorithm's sequential reference up to
+// floating-point merge order.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("engine: %d nodes", cfg.Nodes)
+	}
+	if cfg.Graph == nil || cfg.Alg == nil {
+		return nil, fmt.Errorf("engine: nil graph or algorithm")
+	}
+	g, alg := cfg.Graph, cfg.Alg
+	part := cfg.Partitioning
+	if part == nil {
+		part = cfg.Spec.Partition(g, cfg.Nodes)
+	}
+	if part.NumNodes() != cfg.Nodes {
+		return nil, fmt.Errorf("engine: partitioning has %d nodes, config %d", part.NumNodes(), cfg.Nodes)
+	}
+	net := cfg.Net
+	if net.Bandwidth == 0 {
+		net = cluster.DatacenterNet()
+	}
+	r := &runner{
+		cfg: cfg, g: g, alg: alg, part: part,
+		cl: cluster.New(cfg.Nodes, net),
+		ctx: &template.Context{
+			NumVertices: g.NumVertices(),
+			OutDeg:      func(v graph.VertexID) int { return g.OutDegree(v) },
+			InDeg:       func(v graph.VertexID) int { return g.InDegree(v) },
+		},
+		aw: alg.AttrWidth(),
+		mw: alg.MsgWidth(),
+	}
+	return r.run()
+}
+
+type runner struct {
+	cfg  Config
+	g    *graph.Graph
+	alg  template.Algorithm
+	part *graph.Partitioning
+	cl   *cluster.Cluster
+	ctx  *template.Context
+
+	aw, mw int
+	attrs  []float64 // authoritative state (the upper system's data plane)
+	active []bool
+
+	agents  []*gxplug.Agent
+	uppers  []*upperSystem
+	mirrors map[graph.VertexID][]int // vertex -> nodes referencing it as a source besides its owner
+
+	skipped int
+}
+
+// upperSystem implements gxplug.Upper for one node: batch transfers
+// against the engine's authoritative attribute array, costed by the
+// engine's boundary model.
+type upperSystem struct {
+	r    *runner
+	node int
+}
+
+func (u *upperSystem) Stride() int { return u.r.aw }
+
+func (u *upperSystem) BoundaryCost(bytes int64) time.Duration {
+	s := u.r.cfg.Spec
+	b := float64(bytes) * s.MsgByteFactor
+	return s.BoundaryFixed + simtime.TimeFor(b, s.BoundaryBandwidth)
+}
+
+func (u *upperSystem) FetchAttrs(ids []graph.VertexID, dst []float64) time.Duration {
+	w := u.r.aw
+	for i, id := range ids {
+		copy(dst[i*w:(i+1)*w], u.r.attrs[int(id)*w:(int(id)+1)*w])
+	}
+	return u.BoundaryCost(int64(len(ids)) * int64(8*w+4))
+}
+
+func (u *upperSystem) PushAttrs(ids []graph.VertexID, rows []float64) time.Duration {
+	w := u.r.aw
+	for i, id := range ids {
+		copy(u.r.attrs[int(id)*w:(int(id)+1)*w], rows[i*w:(i+1)*w])
+	}
+	return u.BoundaryCost(int64(len(ids)) * int64(8*w+4))
+}
+
+func (u *upperSystem) PushMessages(count int, bytes int64) time.Duration {
+	return u.BoundaryCost(bytes)
+}
+
+func (u *upperSystem) FetchMessages(count int, bytes int64) time.Duration {
+	return u.BoundaryCost(bytes)
+}
+
+func (r *runner) plugFor(node int) (gxplug.Options, bool) {
+	switch len(r.cfg.Plug) {
+	case 0:
+		return gxplug.Options{}, false
+	case 1:
+		return r.cfg.Plug[0], true
+	default:
+		return r.cfg.Plug[node], true
+	}
+}
+
+func (r *runner) run() (*Result, error) {
+	if len(r.cfg.Plug) > 1 && len(r.cfg.Plug) != r.cfg.Nodes {
+		return nil, fmt.Errorf("engine: %d plug configs for %d nodes", len(r.cfg.Plug), r.cfg.Nodes)
+	}
+	// Initialize authoritative state.
+	n := r.g.NumVertices()
+	r.attrs = make([]float64, n*r.aw)
+	for v := 0; v < n; v++ {
+		r.alg.Init(r.ctx, graph.VertexID(v), r.attrs[v*r.aw:(v+1)*r.aw])
+	}
+	r.active = template.InitialFrontier(r.alg, n)
+	r.buildMirrors()
+
+	// Stand up agents if the middleware is plugged in.
+	if len(r.cfg.Plug) > 0 {
+		r.agents = make([]*gxplug.Agent, r.cfg.Nodes)
+		r.uppers = make([]*upperSystem, r.cfg.Nodes)
+		for j := 0; j < r.cfg.Nodes; j++ {
+			opts, _ := r.plugFor(j)
+			r.uppers[j] = &upperSystem{r: r, node: j}
+			r.agents[j] = gxplug.NewAgent(r.cl.Node(j), r.part.Parts[j], r.alg, r.ctx, r.uppers[j], opts)
+			if err := r.agents[j].Connect(); err != nil {
+				for k := 0; k < j; k++ {
+					r.agents[k].Disconnect()
+				}
+				return nil, err
+			}
+		}
+	}
+
+	iterations, err := r.loop()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Attrs:        r.attrs,
+		Iterations:   iterations,
+		SkippedSyncs: r.skipped,
+		Cluster:      r.cl,
+	}
+	if r.agents != nil {
+		res.AgentStats = make([]gxplug.Stats, len(r.agents))
+		for j, a := range r.agents {
+			a.Disconnect() // flushes dirty state into r.attrs
+			res.AgentStats[j] = a.Stats()
+		}
+	}
+	res.Time = r.cl.MaxTime()
+	for _, nd := range r.cl.Nodes() {
+		res.MiddlewareTime += nd.Bucket("middleware")
+		res.UpperTime += nd.Bucket(bucketUpper)
+	}
+	return res, nil
+}
+
+// buildMirrors records, for every vertex, the non-owner nodes whose
+// partitions reference it as an edge source — the replicas that must see
+// attribute updates (non-empty only under vertex-cut).
+func (r *runner) buildMirrors() {
+	r.mirrors = make(map[graph.VertexID][]int)
+	for j, part := range r.part.Parts {
+		seen := make(map[graph.VertexID]bool)
+		for _, e := range part.Edges {
+			if seen[e.Src] || int(r.part.Owner[e.Src]) == j {
+				continue
+			}
+			seen[e.Src] = true
+			r.mirrors[e.Src] = append(r.mirrors[e.Src], j)
+		}
+	}
+}
+
+// anyActive reports whether any vertex is active.
+func (r *runner) anyActive() bool {
+	for _, a := range r.active {
+		if a {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *runner) maxIterations() int {
+	cap := r.alg.Hints().MaxIterations
+	if r.cfg.MaxIter > 0 && (cap == 0 || r.cfg.MaxIter < cap) {
+		cap = r.cfg.MaxIter
+	}
+	return cap
+}
+
+// skipEnabled reports whether every plugged node has skipping on (native
+// runs never skip — the optimization lives in the middleware).
+func (r *runner) skipEnabled() bool {
+	if r.agents == nil {
+		return false
+	}
+	for j := range r.agents {
+		opts, _ := r.plugFor(j)
+		if !opts.Skipping {
+			return false
+		}
+	}
+	return true
+}
+
+// loop drives iterations in the model's API order until quiescence.
+func (r *runner) loop() (int, error) {
+	hints := r.alg.Hints()
+	maxIter := r.maxIterations()
+	iter := 0
+	var carry *gasCarry // GAS scatter state across rounds
+
+	for {
+		if maxIter > 0 && iter >= maxIter {
+			break
+		}
+		if iter == 0 && !r.anyActive() && !hints.GenAll && !hints.ApplyAll {
+			break
+		}
+		r.ctx.Iteration = iter
+
+		var changedAny bool
+		var err error
+		switch r.cfg.Spec.Model {
+		case GAS:
+			changedAny, carry, err = r.iterateGAS(carry)
+		default:
+			changedAny, err = r.iterateBSP()
+		}
+		if err != nil {
+			return iter, err
+		}
+		iter++
+		if !changedAny {
+			break
+		}
+	}
+	return iter, nil
+}
+
+func (r *runner) emptyInbox() []map[graph.VertexID][]float64 {
+	in := make([]map[graph.VertexID][]float64, r.cfg.Nodes)
+	for j := range in {
+		in[j] = make(map[graph.VertexID][]float64)
+	}
+	return in
+}

@@ -1,0 +1,41 @@
+// Package graphx instantiates the shared engine core as a GraphX-class
+// upper system: the Pregel/BSP model on top of a Spark-like JVM runtime
+// (§IV-B1). The calibrated constants capture what the paper's
+// optimizations push against —
+//
+//   - a slow native executor (JVM object churn, boxing, RDD
+//     materialization make GraphX one to two orders of magnitude slower
+//     than hand-written native code per edge);
+//   - a visible per-superstep scheduling cost (Spark DAG scheduling);
+//   - an expensive runtime boundary: every batch an agent moves crosses
+//     JNI through the JNI transmitter + data packager, paying a fixed
+//     call cost plus a modest serialization bandwidth;
+//   - inflated wire volume (JVM serialization overhead).
+package graphx
+
+import (
+	"time"
+
+	"gxplug/internal/engine"
+	"gxplug/internal/graph"
+)
+
+// Spec returns the GraphX engine model.
+func Spec() engine.Spec {
+	return engine.Spec{
+		Name:              "GraphX",
+		Model:             engine.BSP,
+		NativeRate:        6e7, // ops-equivalent/s per node: JVM-slow
+		SuperstepOverhead: time.Millisecond,
+		BoundaryFixed:     25 * time.Microsecond, // JNI call + packager batch setup
+		BoundaryBandwidth: 1.5e9,                 // serialize/deserialize across JNI
+		MsgByteFactor:     2.5,                   // JVM object/serialization overhead
+		Partition:         func(g *graph.Graph, m int) *graph.Partitioning { return graph.EdgeCutByRange(g, m) },
+	}
+}
+
+// Run executes a workload on the GraphX-class engine.
+func Run(cfg engine.Config) (*engine.Result, error) {
+	cfg.Spec = Spec()
+	return engine.Run(cfg)
+}

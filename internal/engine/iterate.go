@@ -1,0 +1,384 @@
+package engine
+
+import (
+	"gxplug/internal/graph"
+	"gxplug/internal/gxplug"
+	"gxplug/internal/gxplug/synccache"
+	"gxplug/internal/simtime"
+)
+
+// This file implements the two iteration shapes. Both compute the same
+// function; they differ in API call order (§IV-B2) — BSP runs
+// Gen→Merge→Apply inside one superstep, GAS runs Merge→Apply→Gen with the
+// scatter's messages carried into the next round — and in synchronization
+// pattern (messages for edge-cuts; gathered partials plus master→mirror
+// attribute broadcast for vertex-cuts).
+
+// genPhase runs MSGGen(+combine) on every node, via agents or natively.
+func (r *runner) genPhase() ([]*gxplug.GenResult, error) {
+	out := make([]*gxplug.GenResult, r.cfg.Nodes)
+	for j := 0; j < r.cfg.Nodes; j++ {
+		if r.agents != nil {
+			res, err := r.agents[j].RequestGen(func(id graph.VertexID) bool { return r.active[id] })
+			if err != nil {
+				return nil, err
+			}
+			out[j] = res
+			continue
+		}
+		out[j] = r.nativeGen(j)
+	}
+	return out, nil
+}
+
+// routeRemote converts per-node outboxes into per-node inboxes, merging
+// messages from different senders, and returns the pairwise byte volumes.
+func (r *runner) routeRemote(results []*gxplug.GenResult) ([]map[graph.VertexID][]float64, [][]int64) {
+	inbox := r.emptyInbox()
+	vol := make([][]int64, r.cfg.Nodes)
+	for j := range vol {
+		vol[j] = make([]int64, r.cfg.Nodes)
+	}
+	msgBytes := int64(float64(8*r.mw+4) * r.cfg.Spec.MsgByteFactor)
+	for j, res := range results {
+		if res == nil {
+			continue
+		}
+		for id, msg := range res.Remote {
+			o := int(r.part.Owner[id])
+			acc, ok := inbox[o][id]
+			if !ok {
+				acc = make([]float64, r.mw)
+				r.alg.MergeIdentity(acc)
+				inbox[o][id] = acc
+			}
+			r.alg.MSGMerge(acc, msg)
+			vol[j][o] += msgBytes
+		}
+	}
+	return inbox, vol
+}
+
+// mergeApplyPhase merges inboxes and applies on every node, updating the
+// frontier. It returns whether anything changed and the changed vertices
+// that have mirrors (forcing attribute synchronization under vertex-cut).
+func (r *runner) mergeApplyPhase(results []*gxplug.GenResult, inbox []map[graph.VertexID][]float64) (changedAny bool, mirrorUpdates map[graph.VertexID]bool, err error) {
+	mirrorUpdates = make(map[graph.VertexID]bool)
+	for j := 0; j < r.cfg.Nodes; j++ {
+		masters := r.part.Parts[j].Masters
+		var changed, wrote []bool
+		if r.agents != nil {
+			if err := r.agents[j].RequestMerge(results[j], inbox[j]); err != nil {
+				return false, nil, err
+			}
+			ar, err := r.agents[j].RequestApply(results[j])
+			if err != nil {
+				return false, nil, err
+			}
+			changed, wrote = ar.Changed, ar.Wrote
+		} else {
+			r.nativeMerge(j, results[j], inbox[j])
+			changed, wrote = r.nativeApply(j, results[j])
+		}
+		for mi, ch := range changed {
+			id := masters[mi]
+			r.active[id] = ch
+			if ch {
+				changedAny = true
+			}
+			// Any written row must reach its replicas, including
+			// sub-threshold drift (PageRank keeps converging mass without
+			// reactivating vertices).
+			if wrote[mi] && len(r.mirrors[id]) > 0 {
+				mirrorUpdates[id] = true
+			}
+		}
+	}
+	return changedAny, mirrorUpdates, nil
+}
+
+// distributeMirrors delivers updated master attributes to every replica
+// holder (vertex-cut only): exchange volumes are added to vol and agent
+// caches are invalidated with the fresh rows. It must run before the next
+// MSGGen so mirror reads see current state.
+func (r *runner) distributeMirrors(mirrorUpdates map[graph.VertexID]bool, vol [][]int64) {
+	if len(mirrorUpdates) == 0 {
+		return
+	}
+	rowBytes := int64(float64(8*r.aw+4) * r.cfg.Spec.MsgByteFactor)
+	perNode := make([][]graph.VertexID, r.cfg.Nodes)
+	for id := range mirrorUpdates {
+		owner := int(r.part.Owner[id])
+		for _, j := range r.mirrors[id] {
+			vol[owner][j] += rowBytes
+			perNode[j] = append(perNode[j], id)
+		}
+	}
+	if r.agents == nil {
+		return
+	}
+	// Owners flush the updated rows to the upper system first (they are
+	// dirty in the owners' caches under lazy uploading): the broadcast is
+	// exactly the moment these vertices become "involved in the
+	// computation of other distributed nodes" (§III-B2b).
+	q := synccache.NewQueryQueue()
+	for id := range mirrorUpdates {
+		q.Push([]graph.VertexID{id})
+	}
+	for _, a := range r.agents {
+		a.UploadQueried(q)
+	}
+	for j, ids := range perNode {
+		if len(ids) == 0 {
+			continue
+		}
+		rows := make([]float64, len(ids)*r.aw)
+		for i, id := range ids {
+			copy(rows[i*r.aw:(i+1)*r.aw], r.attrs[int(id)*r.aw:(int(id)+1)*r.aw])
+		}
+		r.agents[j].InvalidateRemote(ids, rows)
+	}
+}
+
+// syncPhase performs the global synchronization: message exchange, lazy
+// uploads through the global query queue, and the barrier — or skips all
+// of it when the iteration produced no cross-node traffic (§III-B3).
+func (r *runner) syncPhase(vol [][]int64) {
+	var totalRemote int64
+	for i := range vol {
+		for j := range vol[i] {
+			totalRemote += vol[i][j]
+		}
+	}
+
+	if r.skipEnabled() && totalRemote == 0 {
+		// Synchronization skipping: the upper system is bypassed; only
+		// the cheap global flag AND runs (one byte per node).
+		ones := make([]int64, r.cfg.Nodes)
+		for j := range ones {
+			ones[j] = 1
+		}
+		r.cl.AllGather(bucketUpper, ones)
+		r.skipped++
+		return
+	}
+
+	// Full superstep: scheduling overhead on every node, then the data
+	// exchange.
+	for _, nd := range r.cl.Nodes() {
+		nd.Charge(bucketUpper, r.cfg.Spec.SuperstepOverhead)
+	}
+	r.cl.Exchange(bucketUpper, vol)
+
+	// Lazy uploading: build the global query queue — vertices any node
+	// reads next iteration but does not master — and let agents answer it
+	// (§III-B2b). The gather piggybacks on the superstep barrier: it only
+	// costs extra when something was actually uploaded.
+	if r.agents != nil {
+		q := r.buildQueryQueue()
+		if q.Len() > 0 {
+			contributions := make([]int64, r.cfg.Nodes)
+			var total int64
+			for j, a := range r.agents {
+				contributions[j] = int64(a.UploadQueried(q)) * int64(8*r.aw+4)
+				total += contributions[j]
+			}
+			if total > 0 {
+				r.cl.AllGather(bucketUpper, contributions)
+			}
+		}
+	}
+}
+
+// buildQueryQueue collects the vertices each node reads next iteration
+// but does not master: mirror sources under vertex-cut. (Under edge-cut
+// the queue is empty — influence flows through messages alone.)
+func (r *runner) buildQueryQueue() *synccache.QueryQueue {
+	q := synccache.NewQueryQueue()
+	genAll := r.alg.Hints().GenAll
+	for id, nodes := range r.mirrors {
+		if len(nodes) == 0 {
+			continue
+		}
+		if genAll || r.active[id] {
+			q.Push([]graph.VertexID{id})
+		}
+	}
+	return q
+}
+
+// iterateBSP is one bulk-synchronous superstep: Gen → exchange → Merge →
+// Apply → sync.
+func (r *runner) iterateBSP() (bool, error) {
+	results, err := r.genPhase()
+	if err != nil {
+		return false, err
+	}
+	inbox, vol := r.routeRemote(results)
+	changedAny, mirrorUpdates, err := r.mergeApplyPhase(results, inbox)
+	if err != nil {
+		return false, err
+	}
+	r.distributeMirrors(mirrorUpdates, vol)
+	r.syncPhase(vol)
+	return changedAny, nil
+}
+
+// gasCarry is the state a GAS scatter hands to the next round's gather:
+// the per-node Gen results (local accumulators) plus the routed inbox.
+type gasCarry struct {
+	results []*gxplug.GenResult
+	inbox   []map[graph.VertexID][]float64
+}
+
+// iterateGAS is one GAS round in PowerGraph order — Merge (gather) →
+// Apply → Gen (scatter). The bootstrap scatter of round 0 flows the
+// initial vertex state, as GAS engines do implicitly by reading neighbour
+// state during the first gather. Scatter exchange volumes are charged in
+// the round that produces them.
+func (r *runner) iterateGAS(carry *gasCarry) (bool, *gasCarry, error) {
+	vol := zeroVol(r.cfg.Nodes)
+	if carry == nil {
+		results, err := r.genPhase()
+		if err != nil {
+			return false, nil, err
+		}
+		inbox, bootVol := r.routeRemote(results)
+		carry = &gasCarry{results: results, inbox: inbox}
+		addVol(vol, bootVol)
+	}
+	changedAny, mirrorUpdates, err := r.mergeApplyPhase(carry.results, carry.inbox)
+	if err != nil {
+		return false, nil, err
+	}
+	// Mirrors must see the applied state before the scatter reads them.
+	r.distributeMirrors(mirrorUpdates, vol)
+	var next *gasCarry
+	if changedAny {
+		results, err := r.genPhase()
+		if err != nil {
+			return false, nil, err
+		}
+		inbox, nvol := r.routeRemote(results)
+		next = &gasCarry{results: results, inbox: inbox}
+		addVol(vol, nvol)
+	}
+	r.syncPhase(vol)
+	return changedAny, next, nil
+}
+
+func addVol(dst, src [][]int64) {
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j] += src[i][j]
+		}
+	}
+}
+
+func zeroVol(m int) [][]int64 {
+	vol := make([][]int64, m)
+	for j := range vol {
+		vol[j] = make([]int64, m)
+	}
+	return vol
+}
+
+// --- native executor -------------------------------------------------
+
+// nativeGen runs MSGGen+combine for one node on the engine's built-in
+// executor, charging upper-bucket compute time.
+func (r *runner) nativeGen(j int) *gxplug.GenResult {
+	part := r.part.Parts[j]
+	mw := r.mw
+	res := &gxplug.GenResult{
+		LocalAcc:  make([]float64, len(part.Masters)*mw),
+		LocalRecv: make([]bool, len(part.Masters)),
+		Remote:    make(map[graph.VertexID][]float64),
+	}
+	masterIdx := make(map[graph.VertexID]int, len(part.Masters))
+	for i, v := range part.Masters {
+		masterIdx[v] = i
+	}
+	for i := range part.Masters {
+		r.alg.MergeIdentity(res.LocalAcc[i*mw : (i+1)*mw])
+	}
+	genAll := r.alg.Hints().GenAll
+	edges := 0
+	for _, e := range part.Edges {
+		if !genAll && !r.active[e.Src] {
+			continue
+		}
+		edges++
+		src := e.Src
+		r.alg.MSGGen(r.ctx, src, e.Dst, e.Weight,
+			r.attrs[int(src)*r.aw:(int(src)+1)*r.aw],
+			func(dst graph.VertexID, msg []float64) {
+				if mi, ok := masterIdx[dst]; ok {
+					r.alg.MSGMerge(res.LocalAcc[mi*mw:(mi+1)*mw], msg)
+					res.LocalRecv[mi] = true
+					return
+				}
+				acc, ok := res.Remote[dst]
+				if !ok {
+					acc = make([]float64, mw)
+					r.alg.MergeIdentity(acc)
+					res.Remote[dst] = acc
+				}
+				r.alg.MSGMerge(acc, msg)
+			})
+	}
+	res.Entities = edges
+	cost := simtime.TimeFor(float64(edges)*r.alg.Hints().OpsPerEdge, r.cfg.Spec.NativeRate)
+	r.cl.Node(j).Charge(bucketUpper, cost)
+	return res
+}
+
+// nativeMerge folds an inbox into the node's local accumulator.
+func (r *runner) nativeMerge(j int, res *gxplug.GenResult, inbox map[graph.VertexID][]float64) {
+	if len(inbox) == 0 {
+		return
+	}
+	part := r.part.Parts[j]
+	masterIdx := make(map[graph.VertexID]int, len(part.Masters))
+	for i, v := range part.Masters {
+		masterIdx[v] = i
+	}
+	mw := r.mw
+	for id, msg := range inbox {
+		mi := masterIdx[id]
+		r.alg.MSGMerge(res.LocalAcc[mi*mw:(mi+1)*mw], msg)
+		res.LocalRecv[mi] = true
+	}
+	cost := simtime.TimeFor(float64(len(inbox))*float64(mw), r.cfg.Spec.NativeRate)
+	r.cl.Node(j).Charge(bucketUpper, cost)
+}
+
+// nativeApply applies merged messages to the node's masters, returning
+// the activity flags and the bitwise-written flags.
+func (r *runner) nativeApply(j int, res *gxplug.GenResult) (changed, wrote []bool) {
+	part := r.part.Parts[j]
+	applyAll := r.alg.Hints().ApplyAll
+	changed = make([]bool, len(part.Masters))
+	wrote = make([]bool, len(part.Masters))
+	before := make([]float64, r.aw)
+	applied := 0
+	for mi, id := range part.Masters {
+		if !applyAll && !res.LocalRecv[mi] {
+			continue
+		}
+		applied++
+		row := r.attrs[int(id)*r.aw : (int(id)+1)*r.aw]
+		copy(before, row)
+		changed[mi] = r.alg.MSGApply(r.ctx, id, row,
+			res.LocalAcc[mi*r.mw:(mi+1)*r.mw], res.LocalRecv[mi])
+		for k := range row {
+			if row[k] != before[k] {
+				wrote[mi] = true
+				break
+			}
+		}
+	}
+	cost := simtime.TimeFor(float64(applied)*r.alg.Hints().OpsPerVertex, r.cfg.Spec.NativeRate)
+	r.cl.Node(j).Charge(bucketUpper, cost)
+	return changed, wrote
+}

@@ -1,0 +1,270 @@
+// Package graph provides the graph data structures that every layer of
+// the reproduction shares: an immutable CSR topology, the agent-side
+// vertex/edge tables with the vertex-edge mapping table of §II-B, edge
+// triplets (the homogeneous intermediate unit of the pipeline, §III-A2a),
+// and the partitioners the upper systems use to spread a graph over
+// distributed nodes.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// VertexID identifies a vertex. Graphs in this reproduction are bounded
+// by host memory, so 32 bits suffice (the largest stand-in dataset has
+// ~110k vertices; the paper's UK-2007 has 110M, which would also fit).
+type VertexID uint32
+
+// Edge is one directed edge with a weight. Unweighted datasets load with
+// weight 1.
+type Edge struct {
+	Src, Dst VertexID
+	Weight   float64
+}
+
+// Graph is an immutable directed graph in CSR (compressed sparse row)
+// form, with both out- and in-adjacency so that BSP engines (push along
+// out-edges) and GAS engines (gather along in-edges) share one structure.
+type Graph struct {
+	numV int
+
+	// Out-CSR: edges sorted by source.
+	outOff []int64
+	outDst []VertexID
+	outW   []float64
+
+	// In-CSR: edges sorted by destination.
+	inOff []int64
+	inSrc []VertexID
+	inW   []float64
+}
+
+// FromEdges builds a graph over vertices [0, numV) from an edge list.
+// Edges referencing vertices outside the range are rejected.
+func FromEdges(numV int, edges []Edge) (*Graph, error) {
+	if numV < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", numV)
+	}
+	g := &Graph{
+		numV:   numV,
+		outOff: make([]int64, numV+1),
+		inOff:  make([]int64, numV+1),
+		outDst: make([]VertexID, len(edges)),
+		outW:   make([]float64, len(edges)),
+		inSrc:  make([]VertexID, len(edges)),
+		inW:    make([]float64, len(edges)),
+	}
+	for i, e := range edges {
+		if int(e.Src) >= numV || int(e.Dst) >= numV {
+			return nil, fmt.Errorf("graph: edge %d (%d->%d) outside vertex range [0,%d)",
+				i, e.Src, e.Dst, numV)
+		}
+		g.outOff[e.Src+1]++
+		g.inOff[e.Dst+1]++
+	}
+	for v := 0; v < numV; v++ {
+		g.outOff[v+1] += g.outOff[v]
+		g.inOff[v+1] += g.inOff[v]
+	}
+	outNext := make([]int64, numV)
+	inNext := make([]int64, numV)
+	for _, e := range edges {
+		o := g.outOff[e.Src] + outNext[e.Src]
+		g.outDst[o] = e.Dst
+		g.outW[o] = e.Weight
+		outNext[e.Src]++
+
+		i := g.inOff[e.Dst] + inNext[e.Dst]
+		g.inSrc[i] = e.Src
+		g.inW[i] = e.Weight
+		inNext[e.Dst]++
+	}
+	return g, nil
+}
+
+// MustFromEdges is FromEdges for known-good constant inputs in tests and
+// examples; it panics on error.
+func MustFromEdges(numV int, edges []Edge) *Graph {
+	g, err := FromEdges(numV, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.numV }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int64 { return int64(len(g.outDst)) }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int {
+	return int(g.outOff[v+1] - g.outOff[v])
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VertexID) int {
+	return int(g.inOff[v+1] - g.inOff[v])
+}
+
+// OutEdges calls fn for every out-edge of v.
+func (g *Graph) OutEdges(v VertexID, fn func(dst VertexID, w float64)) {
+	for i := g.outOff[v]; i < g.outOff[v+1]; i++ {
+		fn(g.outDst[i], g.outW[i])
+	}
+}
+
+// InEdges calls fn for every in-edge of v.
+func (g *Graph) InEdges(v VertexID, fn func(src VertexID, w float64)) {
+	for i := g.inOff[v]; i < g.inOff[v+1]; i++ {
+		fn(g.inSrc[i], g.inW[i])
+	}
+}
+
+// Edges materializes the edge list in source order. Harness and
+// partitioner code uses it; hot paths use the CSR accessors.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.outDst))
+	for v := 0; v < g.numV; v++ {
+		for i := g.outOff[v]; i < g.outOff[v+1]; i++ {
+			out = append(out, Edge{Src: VertexID(v), Dst: g.outDst[i], Weight: g.outW[i]})
+		}
+	}
+	return out
+}
+
+// EdgeRange calls fn for every edge with index in [start, end) in the
+// global source-sorted order. It is the zero-allocation path that block
+// builders use.
+func (g *Graph) EdgeRange(start, end int64, fn func(src, dst VertexID, w float64)) {
+	if start < 0 {
+		start = 0
+	}
+	if end > int64(len(g.outDst)) {
+		end = int64(len(g.outDst))
+	}
+	if start >= end {
+		return
+	}
+	// Find the source vertex owning index `start`.
+	v := sort.Search(g.numV, func(v int) bool { return g.outOff[v+1] > start })
+	for i := start; i < end; {
+		for i >= g.outOff[v+1] {
+			v++
+		}
+		fn(VertexID(v), g.outDst[i], g.outW[i])
+		i++
+	}
+}
+
+// Stats summarizes graph shape; the Table I reproduction prints it.
+type Stats struct {
+	Vertices  int
+	Edges     int64
+	AvgDegree float64
+	MaxDegree int
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	s := Stats{Vertices: g.numV, Edges: g.NumEdges()}
+	if g.numV > 0 {
+		s.AvgDegree = float64(s.Edges) / float64(g.numV)
+	}
+	for v := 0; v < g.numV; v++ {
+		if d := g.OutDegree(VertexID(v)); d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	return s
+}
+
+// MemoryFootprint estimates the bytes needed to hold the graph plus one
+// attribute set of the given stride on an accelerator: CSR arrays + vertex
+// attributes. The Fig 9b OOM checks use it.
+func (g *Graph) MemoryFootprint(attrWidth int) int64 {
+	e := g.NumEdges()
+	v := int64(g.numV)
+	// out CSR only on device (engines ship the orientation they need):
+	// offsets (8B/vertex), dst (4B/edge), weight (8B/edge), attrs.
+	return 8*v + 12*e + 8*v*int64(attrWidth)
+}
+
+// ParseEdgeList reads a whitespace-separated edge list ("src dst [weight]"
+// per line, '#' comments) such as the SNAP format the paper's datasets
+// ship in. Vertex IDs must be < numV.
+func ParseEdgeList(r io.Reader) (numV int, edges []Edge, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	maxID := int64(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return 0, nil, fmt.Errorf("graph: line %d: want 'src dst [w]', got %q", line, text)
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return 0, nil, fmt.Errorf("graph: line %d: bad src: %v", line, err)
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, nil, fmt.Errorf("graph: line %d: bad dst: %v", line, err)
+		}
+		if src < 0 || dst < 0 {
+			return 0, nil, fmt.Errorf("graph: line %d: negative vertex id", line)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return 0, nil, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
+			}
+		}
+		if src > maxID {
+			maxID = src
+		}
+		if dst > maxID {
+			maxID = dst
+		}
+		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst), Weight: w})
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, fmt.Errorf("graph: scan: %w", err)
+	}
+	return int(maxID + 1), edges, nil
+}
+
+// WriteEdgeList writes the graph in the same text format ParseEdgeList
+// reads.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	var werr error
+	for v := 0; v < g.numV && werr == nil; v++ {
+		g.OutEdges(VertexID(v), func(dst VertexID, wt float64) {
+			if werr != nil {
+				return
+			}
+			if wt == 1.0 {
+				_, werr = fmt.Fprintf(bw, "%d %d\n", v, dst)
+			} else {
+				_, werr = fmt.Fprintf(bw, "%d %d %g\n", v, dst, wt)
+			}
+		})
+	}
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkTables(t *testing.T) (*VertexTable, *EdgeTable, *MappingTable) {
+	t.Helper()
+	vt := NewVertexTable([]VertexID{10, 20, 30}, 2)
+	et := NewEdgeTable([]Edge{
+		{10, 20, 1}, {10, 30, 2}, // vertex row 0
+		{20, 30, 3}, // vertex row 1
+		// vertex row 2 (30) has no out-edges
+	})
+	mt, err := BuildMapping(vt, et)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vt, et, mt
+}
+
+func TestVertexTableBasics(t *testing.T) {
+	vt := NewVertexTable([]VertexID{5, 9}, 3)
+	if vt.Len() != 2 || vt.Stride() != 3 {
+		t.Fatal("table meta wrong")
+	}
+	row, ok := vt.RowByID(9)
+	if !ok || len(row) != 3 {
+		t.Fatal("RowByID failed")
+	}
+	row[1] = 42
+	if vt.Row(1)[1] != 42 {
+		t.Fatal("RowByID does not alias storage")
+	}
+	if _, ok := vt.Lookup(7); ok {
+		t.Fatal("Lookup found a missing vertex")
+	}
+	if vt.ID(0) != 5 {
+		t.Fatal("ID(0) wrong")
+	}
+}
+
+func TestVertexTableDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate IDs accepted")
+		}
+	}()
+	NewVertexTable([]VertexID{1, 1}, 1)
+}
+
+func TestVertexTableBadStridePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stride 0 accepted")
+		}
+	}()
+	NewVertexTable(nil, 0)
+}
+
+func TestUpdatedFlags(t *testing.T) {
+	vt := NewVertexTable([]VertexID{1, 2, 3}, 1)
+	vt.MarkUpdated(1)
+	vt.MarkUpdated(2)
+	rows := vt.UpdatedRows()
+	if len(rows) != 2 || rows[0] != 1 || rows[1] != 2 {
+		t.Fatalf("UpdatedRows = %v", rows)
+	}
+	if vt.Updated(0) || !vt.Updated(1) {
+		t.Fatal("Updated() wrong")
+	}
+	vt.ClearUpdated()
+	if len(vt.UpdatedRows()) != 0 {
+		t.Fatal("ClearUpdated left flags")
+	}
+}
+
+func TestBuildMapping(t *testing.T) {
+	_, _, mt := mkTables(t)
+	if s, e := mt.EdgeRange(0); s != 0 || e != 2 {
+		t.Fatalf("range(0) = [%d,%d), want [0,2)", s, e)
+	}
+	if s, e := mt.EdgeRange(1); s != 2 || e != 3 {
+		t.Fatalf("range(1) = [%d,%d), want [2,3)", s, e)
+	}
+	if s, e := mt.EdgeRange(2); s != e {
+		t.Fatalf("range(2) not empty: [%d,%d)", s, e)
+	}
+}
+
+func TestBuildMappingRejectsUnknownSource(t *testing.T) {
+	vt := NewVertexTable([]VertexID{1}, 1)
+	et := NewEdgeTable([]Edge{{99, 1, 1}})
+	if _, err := BuildMapping(vt, et); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestBuildMappingRejectsUngrouped(t *testing.T) {
+	vt := NewVertexTable([]VertexID{1, 2}, 1)
+	et := NewEdgeTable([]Edge{{1, 2, 1}, {2, 1, 1}, {1, 2, 1}})
+	if _, err := BuildMapping(vt, et); err == nil {
+		t.Fatal("ungrouped edge table accepted")
+	}
+}
+
+func TestBlockBuilderCutsAndPairs(t *testing.T) {
+	vt, et, mt := mkTables(t)
+	// Give vertices distinguishable attributes.
+	for i := 0; i < vt.Len(); i++ {
+		vt.Row(i)[0] = float64(vt.ID(i))
+	}
+	bb := NewBlockBuilder(vt, et, mt)
+	eblocks, vblocks := bb.Build(2)
+	if len(eblocks) != 2 || len(vblocks) != 2 {
+		t.Fatalf("got %d/%d blocks, want 2/2", len(eblocks), len(vblocks))
+	}
+	var total int
+	for bi, eb := range eblocks {
+		vb := vblocks[bi]
+		total += len(eb.Triplets)
+		for _, tr := range eb.Triplets {
+			if vb.IDs[tr.SrcRow] != tr.Src || vb.IDs[tr.DstRow] != tr.Dst {
+				t.Fatalf("block %d: triplet rows do not resolve to endpoints", bi)
+			}
+			if got := vb.Row(int(tr.SrcRow))[0]; got != float64(tr.Src) {
+				t.Fatalf("block %d: src attr %v, want %v", bi, got, float64(tr.Src))
+			}
+		}
+	}
+	if total != et.Len() {
+		t.Fatalf("blocks carry %d triplets, want %d", total, et.Len())
+	}
+}
+
+func TestBlockBuilderBadSizePanics(t *testing.T) {
+	vt, et, mt := mkTables(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("block size 0 accepted")
+		}
+	}()
+	NewBlockBuilder(vt, et, mt).Build(0)
+}
+
+// Property: for random tables and block sizes, every edge lands in exactly
+// one block, no block exceeds its capacity, and vertex rows resolve.
+func TestBlockBuilderQuick(t *testing.T) {
+	f := func(seed int64, rawBlock uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numV := 1 + rng.Intn(20)
+		ids := make([]VertexID, numV)
+		for i := range ids {
+			ids[i] = VertexID(i * 7) // sparse global IDs
+		}
+		vt := NewVertexTable(ids, 1)
+		var edges []Edge
+		for r := 0; r < numV; r++ {
+			deg := rng.Intn(5)
+			for k := 0; k < deg; k++ {
+				edges = append(edges, Edge{
+					Src: ids[r], Dst: ids[rng.Intn(numV)], Weight: 1,
+				})
+			}
+		}
+		et := NewEdgeTable(edges)
+		mt, err := BuildMapping(vt, et)
+		if err != nil {
+			return false
+		}
+		block := int(rawBlock)%7 + 1
+		eblocks, vblocks := NewBlockBuilder(vt, et, mt).Build(block)
+		var total int
+		for bi, eb := range eblocks {
+			if len(eb.Triplets) == 0 || len(eb.Triplets) > block {
+				return false
+			}
+			total += len(eb.Triplets)
+			vb := vblocks[bi]
+			for _, tr := range eb.Triplets {
+				if vb.IDs[tr.SrcRow] != tr.Src || vb.IDs[tr.DstRow] != tr.Dst {
+					return false
+				}
+			}
+			// Vertex block must not contain duplicates.
+			seen := make(map[VertexID]bool)
+			for _, id := range vb.IDs {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return total == len(edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

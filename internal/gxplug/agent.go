@@ -1,0 +1,396 @@
+package gxplug
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gxplug/internal/cluster"
+	"gxplug/internal/device"
+	"gxplug/internal/graph"
+	"gxplug/internal/gxplug/synccache"
+	"gxplug/internal/gxplug/template"
+)
+
+// An Agent lives in a distributed node of an upper system and bridges it
+// to one or more daemons (§II-A2). It owns the node's vertex/edge tables
+// and vertex-edge mapping table, cuts them into blocks, drives the
+// pipeline-shuffle rotation protocol against each daemon, and carries the
+// inter-iteration optimizations: the synchronization cache with lazy
+// uploading, and the bookkeeping behind synchronization skipping.
+
+// memcpyRate is the host memory bandwidth used to cost block building and
+// result draining (bytes/second).
+const memcpyRate = 10e9
+
+// bucketMiddleware is the accounting bucket every agent/daemon cost lands
+// in; engines charge everything else to "upper". Fig 14 is the ratio.
+const bucketMiddleware = "middleware"
+
+// Upper is the interface an upper system exposes to its agent: batch data
+// transfer across the runtime boundary with engine-specific costs (for a
+// GraphX-class system this boundary is JNI plus the data packager; for a
+// PowerGraph-class system it is a cheap in-process copy). All methods
+// return the virtual cost of the operation.
+type Upper interface {
+	// Stride is the attribute row width.
+	Stride() int
+	// FetchAttrs copies the authoritative rows for ids into dst
+	// (len(ids)*Stride) and returns the boundary cost.
+	FetchAttrs(ids []graph.VertexID, dst []float64) time.Duration
+	// PushAttrs writes rows back to the upper system.
+	PushAttrs(ids []graph.VertexID, rows []float64) time.Duration
+	// PushMessages hands generated messages to the upper system for
+	// routing; only the cost is modelled here (contents flow through the
+	// engine's own structures).
+	PushMessages(count int, bytes int64) time.Duration
+	// FetchMessages receives routed messages from the upper system.
+	FetchMessages(count int, bytes int64) time.Duration
+	// BoundaryCost estimates the cost of moving n bytes across the
+	// boundary without moving anything — the block-size optimizer uses it
+	// to derive the k1/k3 coefficients.
+	BoundaryCost(bytes int64) time.Duration
+}
+
+// Options configure one agent.
+type Options struct {
+	// Devices lists the accelerators to spawn daemons for ("an agent
+	// connects one or more daemons, according to the number of
+	// accelerators that the system allocates").
+	Devices []device.Spec
+	// RawCall disables runtime isolation: the device is re-initialized
+	// around every daemon operation (Fig 13's comparison point).
+	RawCall bool
+	// Pipeline enables pipeline shuffle (§III-A); when false the five-step
+	// sequential flow is costed, including the two inter-process copies
+	// shared memory would eliminate.
+	Pipeline bool
+	// OptimalBlockSize selects the Lemma 1 block count each iteration;
+	// otherwise FixedBlockCount is used.
+	OptimalBlockSize bool
+	// FixedBlockCount is the block count when OptimalBlockSize is off.
+	FixedBlockCount int
+	// Caching enables the synchronization cache and lazy uploading
+	// (§III-B2). When off, every fetch hits the upper system and every
+	// update is pushed back immediately.
+	Caching bool
+	// CacheCapacity bounds the cache in rows; 0 sizes it to the node's
+	// vertex table (everything fits — the common deployment).
+	CacheCapacity int
+	// Skipping enables synchronization skipping (§III-B3). The agent only
+	// reports locality; engines make the global decision.
+	Skipping bool
+}
+
+// DefaultOptions enables every optimization with one V100-class GPU.
+func DefaultOptions() Options {
+	return Options{
+		Devices:          []device.Spec{device.V100()},
+		Pipeline:         true,
+		OptimalBlockSize: true,
+		FixedBlockCount:  32,
+		Caching:          true,
+		Skipping:         true,
+	}
+}
+
+// Stats aggregates one agent's activity.
+type Stats struct {
+	Entities      int64 // triplets processed (d, for the Fig 15 sweep)
+	Blocks        int64
+	Iterations    int64
+	DeviceTime    time.Duration
+	BoundaryTime  time.Duration
+	PipelineTime  time.Duration
+	CacheHits     int64
+	CacheMisses   int64
+	LazySkipped   int64 // uploads deferred by lazy uploading
+	PushedRows    int64
+	DeviceInit    time.Duration
+	LastBlockSize int
+	LastBlocks    int
+}
+
+// GenResult is the outcome of one RequestGen: merged local messages for
+// this node's masters plus an outbox of messages for remote masters.
+type GenResult struct {
+	// LocalAcc is dense over part.Masters (len = len(Masters)*MsgWidth).
+	LocalAcc []float64
+	// LocalRecv marks masters that received at least one message.
+	LocalRecv []bool
+	// Remote holds merged messages destined to vertices mastered on other
+	// nodes.
+	Remote map[graph.VertexID][]float64
+	// Entities is the number of triplets processed this iteration.
+	Entities int
+}
+
+// Agent is the per-node middleware endpoint.
+type Agent struct {
+	node  *cluster.Node
+	part  *graph.Partition
+	alg   template.Algorithm
+	ctx   *template.Context
+	upper Upper
+	opts  Options
+
+	vt        *graph.VertexTable
+	et        *graph.EdgeTable
+	mt        *graph.MappingTable
+	masterRow []int // dense master index -> vertex table row
+	isMaster  map[graph.VertexID]int
+
+	daemons []*daemonProc
+	devices []*device.Device
+	cache   *synccache.Cache
+	// fresh[row] marks vertex-table rows whose value matches the
+	// authoritative state (used when caching is off to avoid refetching
+	// within an iteration, and reset on remote updates).
+	fresh []bool
+
+	// prevRows and prevBlockEdges remember the previous iteration's block
+	// plan for topology-residency detection.
+	prevRows       []int
+	prevBlockEdges int
+
+	stats     Stats
+	connected bool
+}
+
+// ErrNotConnected reports use of an agent before Connect.
+var ErrNotConnected = errors.New("gxplug: agent not connected")
+
+// NewAgent wires an agent over one node's partition. ctx must expose the
+// global degree functions; upper is the engine-side boundary.
+func NewAgent(node *cluster.Node, part *graph.Partition, alg template.Algorithm,
+	ctx *template.Context, upper Upper, opts Options) *Agent {
+	if len(opts.Devices) == 0 {
+		panic("gxplug: agent with no devices")
+	}
+	if opts.FixedBlockCount <= 0 {
+		opts.FixedBlockCount = 32
+	}
+	vt, et, mt := part.Tables(alg.AttrWidth())
+	a := &Agent{
+		node: node, part: part, alg: alg, ctx: ctx, upper: upper, opts: opts,
+		vt: vt, et: et, mt: mt,
+		isMaster: make(map[graph.VertexID]int, len(part.Masters)),
+		fresh:    make([]bool, vt.Len()),
+	}
+	a.masterRow = make([]int, len(part.Masters))
+	for i, v := range part.Masters {
+		row, ok := vt.Lookup(v)
+		if !ok {
+			panic(fmt.Sprintf("gxplug: master %d missing from vertex table", v))
+		}
+		a.masterRow[i] = row
+		a.isMaster[v] = i
+	}
+	return a
+}
+
+// Stats returns a snapshot of the agent's counters.
+func (a *Agent) Stats() Stats {
+	if a.cache != nil {
+		cs := a.cache.Stats()
+		a.stats.CacheHits = cs.Hits
+		a.stats.CacheMisses = cs.Misses
+	}
+	return a.stats
+}
+
+// Masters returns the node's mastered vertices (dense order used by
+// GenResult and RequestApply).
+func (a *Agent) Masters() []graph.VertexID { return a.part.Masters }
+
+// Connect spawns the daemons, initializes their devices (charged once —
+// runtime isolation), sizes the shared segments, reserves device memory
+// for the partition (OOM surfaces here, as in Fig 9b), and performs the
+// initial download of the node's vertex table.
+func (a *Agent) Connect() error {
+	if a.connected {
+		return errors.New("gxplug: agent already connected")
+	}
+	segSize := a.segmentSize()
+	var maxInit time.Duration
+	footprint := a.partitionFootprint()
+	perDaemon := footprint / int64(len(a.opts.Devices))
+	for i, spec := range a.opts.Devices {
+		dev := device.New(spec)
+		proc, initCost, err := startDaemon(daemonConfig{
+			index: i, ipc: a.node.IPC, dev: dev, alg: a.alg, ctx: a.ctx,
+			segSize: segSize, rawCall: a.opts.RawCall,
+		})
+		if err != nil {
+			a.teardown()
+			return err
+		}
+		a.daemons = append(a.daemons, proc)
+		a.devices = append(a.devices, dev)
+		if initCost > maxInit {
+			maxInit = initCost
+		}
+		if !a.opts.RawCall {
+			if err := dev.Alloc(perDaemon); err != nil {
+				a.teardown()
+				return fmt.Errorf("gxplug: partition does not fit device %s: %w", spec.Name, err)
+			}
+		}
+	}
+	// Devices initialize in parallel across daemons, once per run thanks
+	// to runtime isolation. The cost is recorded but not charged to the
+	// iteration clock: the paper reports computation time with
+	// initialization factored out (it is measured separately in Fig 13,
+	// where RawCall pays it on every operation).
+	a.stats.DeviceInit = maxInit
+
+	if a.opts.Caching {
+		capRows := a.opts.CacheCapacity
+		if capRows <= 0 {
+			capRows = a.vt.Len()
+		}
+		if capRows < 1 {
+			capRows = 1 // empty partitions still get a well-formed cache
+		}
+		a.cache = synccache.New(capRows, a.alg.AttrWidth())
+	}
+	a.connected = true
+
+	// Initial download: the whole vertex table, once.
+	ids := make([]graph.VertexID, a.vt.Len())
+	for i := range ids {
+		ids[i] = a.vt.ID(i)
+	}
+	cost := a.upper.FetchAttrs(ids, a.vt.Attrs())
+	a.stats.BoundaryTime += cost
+	a.charge(cost)
+	for i, id := range ids {
+		a.fresh[i] = true
+		if a.cache != nil {
+			a.cachePut(id, a.vt.Row(i))
+		}
+	}
+	return nil
+}
+
+// Disconnect flushes dirty state and stops the daemons.
+func (a *Agent) Disconnect() {
+	if !a.connected {
+		return
+	}
+	a.charge(a.Flush())
+	a.teardown()
+	a.connected = false
+}
+
+func (a *Agent) teardown() {
+	for _, p := range a.daemons {
+		p.shutdown()
+	}
+	a.daemons = nil
+	a.devices = nil
+}
+
+func (a *Agent) charge(d time.Duration) { a.node.Charge(bucketMiddleware, d) }
+
+// segmentSize picks shared segment capacity: the largest block we would
+// ever ship plus slack.
+func (a *Agent) segmentSize() int {
+	maxEdges := a.et.Len()
+	if maxEdges < 1 {
+		maxEdges = 1
+	}
+	// A block of E edges references at most 2E vertices.
+	n := genBlockSize(maxEdges, 2*maxEdges, a.alg.AttrWidth(), a.alg.MsgWidth())
+	if ap := applyBlockSize(a.vt.Len()+1, a.alg.AttrWidth(), a.alg.MsgWidth()); ap > n {
+		n = ap
+	}
+	if mg := mergeBlockSize(len(a.part.Masters)+1, a.alg.MsgWidth()); mg > n {
+		n = mg
+	}
+	return n + 64
+}
+
+// partitionFootprint estimates the device-resident bytes of this node's
+// share of the graph.
+func (a *Agent) partitionFootprint() int64 {
+	return int64(a.et.Len())*tripletBytes + int64(a.vt.Len())*int64(4+8*a.alg.AttrWidth())
+}
+
+// cachePut inserts a row, forwarding any dirty eviction to the upper
+// system immediately (the §III-B2a eviction rule). It returns the upload
+// cost incurred.
+func (a *Agent) cachePut(id graph.VertexID, row []float64) time.Duration {
+	ev, evicted := a.cache.Put(id, row)
+	if evicted && ev.Dirty {
+		cost := a.upper.PushAttrs([]graph.VertexID{ev.ID}, ev.Row)
+		a.stats.PushedRows++
+		a.stats.BoundaryTime += cost
+		return cost
+	}
+	return 0
+}
+
+// ensureRows makes the vertex-table rows for the given row indices match
+// authoritative state, returning the virtual cost. With caching, hits are
+// free and misses batch-fetch; without, any non-fresh row is fetched.
+func (a *Agent) ensureRows(rows []int) time.Duration {
+	var cost time.Duration
+	var missIDs []graph.VertexID
+	var missRows []int
+	for _, r := range rows {
+		id := a.vt.ID(r)
+		if a.cache != nil {
+			if cached, ok := a.cache.Get(id); ok {
+				copy(a.vt.Row(r), cached)
+				a.fresh[r] = true
+				continue
+			}
+		} else if a.fresh[r] {
+			continue
+		}
+		missIDs = append(missIDs, id)
+		missRows = append(missRows, r)
+	}
+	if len(missIDs) == 0 {
+		return 0
+	}
+	buf := make([]float64, len(missIDs)*a.alg.AttrWidth())
+	c := a.upper.FetchAttrs(missIDs, buf)
+	a.stats.BoundaryTime += c
+	cost += c
+	w := a.alg.AttrWidth()
+	for i, r := range missRows {
+		copy(a.vt.Row(r), buf[i*w:(i+1)*w])
+		a.fresh[r] = true
+		if a.cache != nil {
+			cost += a.cachePut(missIDs[i], buf[i*w:(i+1)*w])
+		}
+	}
+	return cost
+}
+
+// InvalidateRemote tells the agent that the given vertices were updated
+// by other nodes: cached copies are stale and the new values arrive with
+// rows (dense, Stride-wide), charged as one boundary fetch.
+func (a *Agent) InvalidateRemote(ids []graph.VertexID, rows []float64) {
+	if len(ids) == 0 {
+		return
+	}
+	w := a.alg.AttrWidth()
+	cost := a.upper.BoundaryCost(int64(len(ids)) * int64(8*w+4))
+	a.stats.BoundaryTime += cost
+	for i, id := range ids {
+		if a.cache != nil {
+			a.cache.Invalidate(id)
+		}
+		if r, ok := a.vt.Lookup(id); ok {
+			copy(a.vt.Row(r), rows[i*w:(i+1)*w])
+			a.fresh[r] = true
+			if a.cache != nil {
+				cost += a.cachePut(id, rows[i*w:(i+1)*w])
+			}
+		}
+	}
+	a.charge(cost)
+}

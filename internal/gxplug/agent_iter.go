@@ -1,0 +1,710 @@
+package gxplug
+
+import (
+	"fmt"
+	"time"
+
+	"gxplug/internal/graph"
+	"gxplug/internal/gxplug/pipeline"
+	"gxplug/internal/gxplug/synccache"
+	"gxplug/internal/simtime"
+)
+
+// This file drives the per-iteration operation interfaces of §IV-A2 —
+// requestGen, requestMerge, requestApply — including the pipeline-shuffle
+// rotation protocol against each daemon (Algorithms 1 and 2).
+
+// blockPlan is one block's geometry before encoding: the edge-table index
+// ranges it covers.
+type blockPlan struct {
+	eb *graph.EdgeBlock
+	vb *graph.VertexBlock
+}
+
+// RequestGen runs MSGGen (+ combining MSGMerge) over this node's active
+// edges on the daemons, streaming blocks through the rotation pipeline.
+// active selects source vertices; ignored when the algorithm declares
+// GenAll.
+func (a *Agent) RequestGen(active func(graph.VertexID) bool) (*GenResult, error) {
+	if !a.connected {
+		return nil, ErrNotConnected
+	}
+	a.stats.Iterations++
+	if !a.opts.Caching {
+		// The naive integration trusts nothing across iterations: every
+		// vertex is re-downloaded from the upper system — exactly the
+		// traffic the synchronization cache exists to kill (§III-B2a).
+		for i := range a.fresh {
+			a.fresh[i] = false
+		}
+	}
+	mw := a.alg.MsgWidth()
+	res := &GenResult{
+		LocalAcc:  make([]float64, len(a.part.Masters)*mw),
+		LocalRecv: make([]bool, len(a.part.Masters)),
+		Remote:    make(map[graph.VertexID][]float64),
+	}
+	for i := range a.part.Masters {
+		a.alg.MergeIdentity(res.LocalAcc[i*mw : (i+1)*mw])
+	}
+
+	genAll := a.alg.Hints().GenAll
+	// Rows participating this iteration and the edge count d.
+	var rows []int
+	d := 0
+	for r := 0; r < a.vt.Len(); r++ {
+		s, e := a.mt.EdgeRange(r)
+		if s == e {
+			continue
+		}
+		if !genAll && active != nil && !active(a.vt.ID(r)) {
+			continue
+		}
+		rows = append(rows, r)
+		d += e - s
+	}
+	res.Entities = d
+	a.stats.Entities += int64(d)
+	if d == 0 {
+		return res, nil
+	}
+
+	blockEdges := a.chooseBlockSize(d)
+	blocks := a.buildBlocks(rows, blockEdges)
+	a.stats.Blocks += int64(len(blocks))
+	a.stats.LastBlockSize = blockEdges
+	a.stats.LastBlocks = len(blocks)
+
+	// Topology residency: daemons hold the edge blocks across iterations
+	// (§II-B's blocks live in shared memory; only vertex attributes
+	// change value). When this iteration's participating rows and block
+	// size match the previous iteration's, the topology bytes are already
+	// device-resident and only attribute traffic is charged.
+	reuseTopo := a.sameRowSet(rows, blockEdges)
+
+	// Split blocks across daemons proportionally to device capacity; the
+	// daemons run in parallel, so the node pays the slowest share.
+	shares := a.splitBlocks(blocks)
+	var worst time.Duration
+	for di, share := range shares {
+		if len(share) == 0 {
+			continue
+		}
+		makespan, err := a.runPipeline(di, share, res, reuseTopo)
+		if err != nil {
+			return nil, err
+		}
+		if makespan > worst {
+			worst = makespan
+		}
+	}
+	a.stats.PipelineTime += worst
+	a.charge(worst)
+	return res, nil
+}
+
+// chooseBlockSize picks the per-block edge count: Lemma 1 when enabled,
+// otherwise d / FixedBlockCount.
+func (a *Agent) chooseBlockSize(d int) int {
+	if !a.opts.OptimalBlockSize {
+		b := d / a.opts.FixedBlockCount
+		if b < 1 {
+			b = 1
+		}
+		return b
+	}
+	co := a.coefficients()
+	b := int(co.OptimalBlockSize(float64(d)))
+	if b < 1 {
+		b = 1
+	}
+	if b > d {
+		b = d
+	}
+	return b
+}
+
+// coefficients derives the Equation 2 cost coefficients from the live
+// system: boundary costs from the upper system, compute rate from the
+// fastest device.
+func (a *Agent) coefficients() pipeline.Coefficients {
+	aw, mw := a.alg.AttrWidth(), a.alg.MsgWidth()
+	// Approximate bytes per entity: triplet + its share of the vertex
+	// block (about one vertex per two triplets). Boundary coefficients
+	// use the *marginal* per-byte cost — the fixed per-batch cost belongs
+	// to T_call, not to k1/k3, or small blocks look absurdly cheap.
+	perByte := func(n int64) float64 {
+		return (a.upper.BoundaryCost(n) - a.upper.BoundaryCost(0)).Seconds()
+	}
+	// Steady-state traffic with resident topology: roughly one attribute
+	// row per two triplets.
+	bpe := int64((4 + 8*aw) / 2)
+	if bpe < 4 {
+		bpe = 4
+	}
+	k1 := perByte(bpe) + float64(bpe)/memcpyRate
+
+	best := a.devices[0]
+	for _, dv := range a.devices[1:] {
+		if dv.EffectiveRate(1<<20) > best.EffectiveRate(1<<20) {
+			best = dv
+		}
+	}
+	k2 := a.alg.Hints().OpsPerEdge / best.EffectiveRate(1<<20)
+
+	outB := int64(8*mw + 1)
+	k3 := float64(outB) / memcpyRate
+	if !a.opts.Caching {
+		// Without the cache every message round-trips the boundary.
+		k3 += 2 * perByte(outB)
+	} else {
+		k3 += perByte(outB) * 0.2 // remote share estimate
+	}
+	tcall := best.Spec().LaunchLatency + 6*queueMsgOverhead
+	if a.opts.RawCall {
+		tcall += best.Spec().InitCost
+	}
+	return pipeline.Coefficients{K1: k1, K2: k2, K3: k3, A: tcall.Seconds()}
+}
+
+// buildBlocks cuts the chosen rows' edges into paired vertex/edge blocks
+// of at most blockEdges triplets. Attribute content is filled at pipeline
+// download time (ensureRows), not here.
+func (a *Agent) buildBlocks(rows []int, blockEdges int) []blockPlan {
+	var out []blockPlan
+	var eb *graph.EdgeBlock
+	var vb *graph.VertexBlock
+	local := make(map[graph.VertexID]int32)
+	aw := a.alg.AttrWidth()
+
+	flush := func() {
+		if eb != nil && len(eb.Triplets) > 0 {
+			out = append(out, blockPlan{eb: eb, vb: vb})
+		}
+		eb, vb = nil, nil
+	}
+	ensure := func() {
+		if eb == nil {
+			eb = &graph.EdgeBlock{Triplets: make([]graph.Triplet, 0, blockEdges)}
+			vb = &graph.VertexBlock{Stride: aw}
+			local = make(map[graph.VertexID]int32)
+		}
+	}
+	addVertex := func(id graph.VertexID) int32 {
+		if r, ok := local[id]; ok {
+			return r
+		}
+		r := int32(len(vb.IDs))
+		local[id] = r
+		vb.IDs = append(vb.IDs, id)
+		vb.Attrs = append(vb.Attrs, make([]float64, aw)...)
+		return r
+	}
+	for _, row := range rows {
+		s, e := a.mt.EdgeRange(row)
+		for i := s; i < e; i++ {
+			ensure()
+			edge := a.et.At(i)
+			eb.Triplets = append(eb.Triplets, graph.Triplet{
+				Src: edge.Src, Dst: edge.Dst, W: edge.Weight,
+				SrcRow: addVertex(edge.Src), DstRow: addVertex(edge.Dst),
+			})
+			if len(eb.Triplets) >= blockEdges {
+				flush()
+			}
+		}
+	}
+	flush()
+	return out
+}
+
+// splitBlocks assigns contiguous block ranges to daemons proportionally
+// to device effective rate (within-node workload balancing across
+// heterogeneous accelerators — the Fig 9d mix & match).
+func (a *Agent) splitBlocks(blocks []blockPlan) [][]blockPlan {
+	nd := len(a.daemons)
+	shares := make([][]blockPlan, nd)
+	if nd == 1 {
+		shares[0] = blocks
+		return shares
+	}
+	weights := make([]float64, nd)
+	var total float64
+	for i, dv := range a.devices {
+		weights[i] = dv.EffectiveRate(1 << 20)
+		total += weights[i]
+	}
+	start := 0
+	var cum float64
+	for i := 0; i < nd; i++ {
+		cum += weights[i]
+		end := int(cum / total * float64(len(blocks)))
+		if i == nd-1 {
+			end = len(blocks)
+		}
+		if end < start {
+			end = start
+		}
+		shares[i] = blocks[start:end]
+		start = end
+	}
+	return shares
+}
+
+// sameRowSet reports whether the participating rows and block size match
+// the previous iteration's (and records them for the next call).
+func (a *Agent) sameRowSet(rows []int, blockEdges int) bool {
+	same := a.prevBlockEdges == blockEdges && len(rows) == len(a.prevRows)
+	if same {
+		for i, r := range rows {
+			if a.prevRows[i] != r {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		a.prevRows = append(a.prevRows[:0], rows...)
+		a.prevBlockEdges = blockEdges
+	}
+	return same
+}
+
+// runPipeline streams one daemon's blocks through the three-chunk
+// rotation protocol, recording per-block stage costs and returning the
+// virtual makespan (pipelined or sequential five-step depending on
+// options). Results are merged into res as each block is drained from the
+// u-segment, in block order — deterministic regardless of scheduling.
+func (a *Agent) runPipeline(di int, blocks []blockPlan, res *GenResult, reuseTopo bool) (time.Duration, error) {
+	p := a.daemons[di]
+	k := len(blocks)
+	costs := make([]simtime.StageCosts, k)
+	for i := range costs {
+		costs[i] = simtime.StageCosts{0, 0, 0}
+	}
+	geo := make([][2]int, k) // (numVerts, resultOff) per block for draining
+
+	for step := 0; step <= k+1; step++ {
+		// Thread.Download: fill the n-chunk with the next block.
+		nSeg := p.mem[physSeg(roleN, p.rot)]
+		if step < k {
+			tn, vOff, err := a.fillBlock(nSeg, blocks[step], reuseTopo)
+			if err != nil {
+				return 0, err
+			}
+			costs[step][0] = tn
+			geo[step] = vOff
+		} else {
+			// No more blocks: zero the kind so the daemon answers
+			// ComputeAllFinished after rotation.
+			clearKind(nSeg)
+		}
+		// Thread.Upload: drain the u-chunk (two rotations behind).
+		if step >= 2 {
+			uSeg := p.mem[physSeg(roleU, p.rot)]
+			tu := a.drainBlock(uSeg, blocks[step-2], geo[step-2], res, &costs[step-2])
+			costs[step-2][2] += tu
+		}
+		// Exchange finished: rotate n→c→u→n on both sides.
+		typ, _, err := p.request(msgExchangeFinished, nil)
+		if err != nil {
+			return 0, err
+		}
+		if typ != msgRotateFinished {
+			return 0, fmt.Errorf("gxplug: daemon %d: expected RotateFinished, got %d", di, typ)
+		}
+		p.rot = (p.rot + 2) % 3
+		// Compute the fresh c-chunk.
+		typ, payload, err := p.request(msgCompute, nil)
+		if err != nil {
+			return 0, err
+		}
+		switch typ {
+		case msgComputeFinished:
+			if step >= k {
+				return 0, fmt.Errorf("gxplug: daemon %d computed an unexpected block", di)
+			}
+			dc := decodeCost(payload)
+			a.stats.DeviceTime += dc
+			costs[step][1] = dc + 6*queueMsgOverhead
+		case msgComputeAllFinished:
+			if step < k {
+				return 0, fmt.Errorf("gxplug: daemon %d drained early at block %d/%d", di, step, k)
+			}
+		default:
+			return 0, fmt.Errorf("gxplug: daemon %d: unexpected reply %d", di, typ)
+		}
+	}
+
+	if a.opts.Pipeline {
+		return simtime.PipelineMakespan(costs), nil
+	}
+	// WithoutPipeline: the original five-step flow — strictly sequential,
+	// plus an agent→daemon and daemon→agent copy per block that shared
+	// memory otherwise eliminates.
+	total := simtime.SequentialMakespan(costs)
+	for i := range blocks {
+		blockBytes := int64(len(blocks[i].eb.Triplets))*tripletBytes +
+			int64(len(blocks[i].vb.IDs))*int64(4+8*a.alg.AttrWidth())
+		total += 2 * simtime.TimeFor(float64(blockBytes), memcpyRate)
+	}
+	return total, nil
+}
+
+// fillBlock materializes one block into a segment: ensures fresh source
+// attributes (cache-aware), copies them into the vertex block, encodes.
+// Returns the download-stage cost and the block geometry for draining.
+// With reuseTopo the triplet encoding still happens for real (segments
+// rotate), but only the attribute bytes are charged: the daemon already
+// holds this topology from the previous iteration.
+func (a *Agent) fillBlock(seg []byte, bp blockPlan, reuseTopo bool) (time.Duration, [2]int, error) {
+	var cost time.Duration
+	// Rows to refresh: every vertex the block references that exists in
+	// our table (sources always do; destinations may be remote).
+	var rows []int
+	for _, id := range bp.vb.IDs {
+		if r, ok := a.vt.Lookup(id); ok {
+			rows = append(rows, r)
+		}
+	}
+	cost += a.ensureRows(rows)
+	aw := a.alg.AttrWidth()
+	for i, id := range bp.vb.IDs {
+		if r, ok := a.vt.Lookup(id); ok {
+			copy(bp.vb.Attrs[i*aw:(i+1)*aw], a.vt.Row(r))
+		}
+	}
+	payload, err := encodeGenBlock(seg, bp.eb, bp.vb, a.alg.MsgWidth(), reuseTopo)
+	if err != nil {
+		return 0, [2]int{}, err
+	}
+	moved := payload
+	if reuseTopo {
+		moved = len(bp.vb.IDs) * (4 + 8*aw)
+	}
+	cost += simtime.TimeFor(float64(moved), memcpyRate)
+	return cost, [2]int{len(bp.vb.IDs), payload}, nil
+}
+
+// drainBlock reads one computed block's results out of the u-chunk and
+// merges them into the node-level result, returning the upload-stage cost.
+func (a *Agent) drainBlock(seg []byte, bp blockPlan, geo [2]int, res *GenResult, _ *simtime.StageCosts) time.Duration {
+	nV, resultOff := geo[0], geo[1]
+	mw := a.alg.MsgWidth()
+	acc, recv, _ := readGenResult(seg, resultOff, nV, mw)
+	clearKind(seg)
+
+	var localMsgs, remoteMsgs int
+	for r := 0; r < nV; r++ {
+		if !recv[r] {
+			continue
+		}
+		id := bp.vb.IDs[r]
+		if mi, ok := a.isMaster[id]; ok {
+			a.alg.MSGMerge(res.LocalAcc[mi*mw:(mi+1)*mw], acc[r*mw:(r+1)*mw])
+			res.LocalRecv[mi] = true
+			localMsgs++
+		} else {
+			dst, ok := res.Remote[id]
+			if !ok {
+				dst = make([]float64, mw)
+				a.alg.MergeIdentity(dst)
+				res.Remote[id] = dst
+			}
+			a.alg.MSGMerge(dst, acc[r*mw:(r+1)*mw])
+			remoteMsgs++
+		}
+	}
+	resultBytes := int64(nV*mw*8 + nV)
+	cost := simtime.TimeFor(float64(resultBytes), memcpyRate)
+	msgBytes := func(n int) int64 { return int64(n) * int64(8*mw+4) }
+	// Remote-bound messages always cross into the upper system for
+	// routing. Local messages round-trip only when caching is off (the
+	// naive integration pushes everything through the upper system).
+	if remoteMsgs > 0 {
+		c := a.upper.PushMessages(remoteMsgs, msgBytes(remoteMsgs))
+		a.stats.BoundaryTime += c
+		cost += c
+	}
+	if !a.opts.Caching && localMsgs > 0 {
+		c := a.upper.PushMessages(localMsgs, msgBytes(localMsgs))
+		c += a.upper.FetchMessages(localMsgs, msgBytes(localMsgs))
+		a.stats.BoundaryTime += c
+		cost += c
+	} else {
+		a.stats.LazySkipped += int64(localMsgs)
+	}
+	return cost
+}
+
+func clearKind(seg []byte) {
+	seg[0], seg[1], seg[2], seg[3] = 0, 0, 0, 0
+}
+
+// RequestMerge folds messages arriving from other nodes into the local
+// accumulator on a daemon (MSGMerge as a device kernel). incoming maps
+// master vertices to merged remote messages.
+func (a *Agent) RequestMerge(res *GenResult, incoming map[graph.VertexID][]float64) error {
+	if !a.connected {
+		return ErrNotConnected
+	}
+	if len(incoming) == 0 {
+		return nil
+	}
+	mw := a.alg.MsgWidth()
+	// Fetch the routed messages across the boundary.
+	fc := a.upper.FetchMessages(len(incoming), int64(len(incoming))*int64(8*mw+4))
+	a.stats.BoundaryTime += fc
+
+	// Dense remote accumulator over masters.
+	remote := make([]float64, len(a.part.Masters)*mw)
+	for i := range a.part.Masters {
+		a.alg.MergeIdentity(remote[i*mw : (i+1)*mw])
+	}
+	for id, msg := range incoming {
+		mi, ok := a.isMaster[id]
+		if !ok {
+			return fmt.Errorf("gxplug: incoming message for non-master %d", id)
+		}
+		copy(remote[mi*mw:(mi+1)*mw], msg)
+		res.LocalRecv[mi] = true
+	}
+
+	p := a.daemons[0] // merge is cheap; one daemon suffices
+	seg := p.mem[physSeg(roleC, p.rot)]
+	if _, err := encodeMergeBlock(seg, res.LocalAcc, remote, mw); err != nil {
+		return err
+	}
+	typ, payload, err := p.request(msgMerge, nil)
+	if err != nil {
+		return err
+	}
+	if typ != msgDone {
+		return fmt.Errorf("gxplug: merge: unexpected reply %d", typ)
+	}
+	merged, _ := readMergeResult(seg, len(a.part.Masters), mw)
+	copy(res.LocalAcc, merged)
+	clearKind(seg)
+
+	dc := decodeCost(payload)
+	a.stats.DeviceTime += dc
+	a.charge(fc + dc + 2*queueMsgOverhead)
+	return nil
+}
+
+// ApplyResult is the outcome of RequestApply.
+type ApplyResult struct {
+	// Changed is dense over masters: true where MSGApply reported a
+	// change (the vertex is active next iteration).
+	Changed []bool
+	// Wrote is dense over masters: true where the attribute row moved at
+	// all, including sub-threshold drift that does not reactivate the
+	// vertex. Replicas on other nodes must see these rows.
+	Wrote []bool
+	// LocalOnly reports that every changed master is internal to this
+	// node (all out-neighbours local) — the agent-side condition of
+	// synchronization skipping (§III-B3).
+	LocalOnly bool
+}
+
+// RequestApply runs MSGApply for this node's masters on the daemons,
+// updates the vertex table, and handles the upload policy (immediate
+// without caching; dirty-marking with).
+func (a *Agent) RequestApply(res *GenResult) (*ApplyResult, error) {
+	if !a.connected {
+		return nil, ErrNotConnected
+	}
+	applyAll := a.alg.Hints().ApplyAll
+	aw, mw := a.alg.AttrWidth(), a.alg.MsgWidth()
+
+	// Select target masters.
+	var sel []int // master indices
+	for i := range a.part.Masters {
+		if applyAll || res.LocalRecv[i] {
+			sel = append(sel, i)
+		}
+	}
+	out := &ApplyResult{
+		Changed:   make([]bool, len(a.part.Masters)),
+		Wrote:     make([]bool, len(a.part.Masters)),
+		LocalOnly: true,
+	}
+	if len(sel) == 0 {
+		return out, nil
+	}
+
+	ids := make([]graph.VertexID, len(sel))
+	rows := make([]int, len(sel))
+	attrs := make([]float64, len(sel)*aw)
+	msgs := make([]float64, len(sel)*mw)
+	recv := make([]bool, len(sel))
+	for i, mi := range sel {
+		ids[i] = a.part.Masters[mi]
+		rows[i] = a.masterRow[mi]
+		recv[i] = res.LocalRecv[mi]
+		copy(msgs[i*mw:(i+1)*mw], res.LocalAcc[mi*mw:(mi+1)*mw])
+	}
+	cost := a.ensureRows(rows)
+	for i, r := range rows {
+		copy(attrs[i*aw:(i+1)*aw], a.vt.Row(r))
+	}
+
+	// Split contiguous ranges over daemons by capacity; daemons run in
+	// parallel, pay the slowest.
+	type span struct{ lo, hi int }
+	spans := make([]span, len(a.daemons))
+	if len(a.daemons) == 1 {
+		spans[0] = span{0, len(sel)}
+	} else {
+		var total float64
+		w := make([]float64, len(a.devices))
+		for i, dv := range a.devices {
+			w[i] = dv.EffectiveRate(1 << 20)
+			total += w[i]
+		}
+		start, cum := 0, 0.0
+		for i := range spans {
+			cum += w[i]
+			end := int(cum / total * float64(len(sel)))
+			if i == len(spans)-1 {
+				end = len(sel)
+			}
+			if end < start {
+				end = start
+			}
+			spans[i] = span{start, end}
+			start = end
+		}
+	}
+	var worst time.Duration
+	for di, sp := range spans {
+		if sp.lo == sp.hi {
+			continue
+		}
+		n := sp.hi - sp.lo
+		p := a.daemons[di]
+		seg := p.mem[physSeg(roleC, p.rot)]
+		if _, err := encodeApplyBlock(seg, ids[sp.lo:sp.hi],
+			attrs[sp.lo*aw:sp.hi*aw], aw, msgs[sp.lo*mw:sp.hi*mw], mw,
+			recv[sp.lo:sp.hi]); err != nil {
+			return nil, err
+		}
+		typ, payload, err := p.request(msgApply, nil)
+		if err != nil {
+			return nil, err
+		}
+		if typ != msgDone {
+			return nil, fmt.Errorf("gxplug: apply: unexpected reply %d", typ)
+		}
+		newAttrs, changed, _ := readApplyResult(seg, n, aw, mw)
+		clearKind(seg)
+		copy(attrs[sp.lo*aw:sp.hi*aw], newAttrs)
+		dc := decodeCost(payload)
+		a.stats.DeviceTime += dc
+		if dc+2*queueMsgOverhead > worst {
+			worst = dc + 2*queueMsgOverhead
+		}
+		for i := sp.lo; i < sp.hi; i++ {
+			if changed[i-sp.lo] {
+				out.Changed[sel[i]] = true
+			}
+		}
+	}
+	cost += worst
+
+	// Write results back into the vertex table; upload per policy. A row
+	// counts as written if any bit moved — MSGApply's boolean only drives
+	// the activity frontier (e.g. PageRank keeps sub-tolerance rank drift
+	// without reactivating the vertex).
+	var pushIDs []graph.VertexID
+	var pushRows []float64
+	for i, mi := range sel {
+		row := attrs[i*aw : (i+1)*aw]
+		old := a.vt.Row(rows[i])
+		wrote := false
+		for k := range row {
+			if row[k] != old[k] {
+				wrote = true
+				break
+			}
+		}
+		if !wrote {
+			continue
+		}
+		out.Wrote[mi] = true
+		copy(old, row)
+		a.vt.MarkUpdated(rows[i])
+		if out.Changed[mi] && !a.part.Internal[mi] {
+			out.LocalOnly = false
+		}
+		if a.cache != nil {
+			if !a.cache.Update(ids[i], row) {
+				cost += a.cachePut(ids[i], row)
+				a.cache.Update(ids[i], row)
+			}
+			a.stats.LazySkipped++
+		} else {
+			pushIDs = append(pushIDs, ids[i])
+			pushRows = append(pushRows, row...)
+		}
+	}
+	if len(pushIDs) > 0 {
+		c := a.upper.PushAttrs(pushIDs, pushRows)
+		a.stats.BoundaryTime += c
+		a.stats.PushedRows += int64(len(pushIDs))
+		cost += c
+	}
+	cost += simtime.TimeFor(float64(len(sel)*(aw+mw)*8), memcpyRate)
+	a.charge(cost)
+	return out, nil
+}
+
+// UploadQueried implements the agent side of lazy uploading (§III-B2b):
+// push only the dirty vertices that appear in the global query queue.
+// Returns the number of rows uploaded.
+func (a *Agent) UploadQueried(q *synccache.QueryQueue) int {
+	if a.cache == nil {
+		return 0 // without caching everything was pushed eagerly
+	}
+	need := q.Filter(a.cache.Dirty())
+	if len(need) == 0 {
+		return 0
+	}
+	aw := a.alg.AttrWidth()
+	rows := make([]float64, 0, len(need)*aw)
+	for _, id := range need {
+		if cached, ok := a.cache.Get(id); ok {
+			rows = append(rows, cached...)
+			a.cache.MarkClean(id)
+		}
+	}
+	cost := a.upper.PushAttrs(need, rows)
+	a.stats.BoundaryTime += cost
+	a.stats.PushedRows += int64(len(need))
+	a.charge(cost)
+	return len(need)
+}
+
+// Flush pushes every remaining dirty vertex to the upper system (end of
+// run, or before a full synchronization). Returns the cost, which the
+// caller has already been charged.
+func (a *Agent) Flush() time.Duration {
+	if a.cache == nil {
+		return 0
+	}
+	dirty := a.cache.FlushDirty()
+	if len(dirty) == 0 {
+		return 0
+	}
+	aw := a.alg.AttrWidth()
+	ids := make([]graph.VertexID, len(dirty))
+	rows := make([]float64, len(dirty)*aw)
+	for i, ev := range dirty {
+		ids[i] = ev.ID
+		copy(rows[i*aw:(i+1)*aw], ev.Row)
+	}
+	cost := a.upper.PushAttrs(ids, rows)
+	a.stats.BoundaryTime += cost
+	a.stats.PushedRows += int64(len(ids))
+	return cost
+}

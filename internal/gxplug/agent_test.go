@@ -1,0 +1,441 @@
+package gxplug
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"gxplug/internal/algos"
+	"gxplug/internal/cluster"
+	"gxplug/internal/device"
+	"gxplug/internal/gen"
+	"gxplug/internal/graph"
+	"gxplug/internal/gxplug/template"
+)
+
+// fakeUpper is a minimal upper system: a global attribute array with a
+// configurable boundary cost (fixed per batch + per byte), standing in
+// for the JNI/data-packager boundary in tests.
+type fakeUpper struct {
+	stride  int
+	attrs   []float64
+	fixed   time.Duration
+	perByte float64 // seconds per byte
+}
+
+func newFakeUpper(g *graph.Graph, alg template.Algorithm, ctx *template.Context) *fakeUpper {
+	u := &fakeUpper{
+		stride:  alg.AttrWidth(),
+		attrs:   make([]float64, g.NumVertices()*alg.AttrWidth()),
+		fixed:   5 * time.Microsecond,
+		perByte: 1.0 / 2e9, // 2 GB/s boundary
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		alg.Init(ctx, graph.VertexID(v), u.attrs[v*u.stride:(v+1)*u.stride])
+	}
+	return u
+}
+
+func (u *fakeUpper) Stride() int { return u.stride }
+
+func (u *fakeUpper) BoundaryCost(bytes int64) time.Duration {
+	return u.fixed + time.Duration(float64(bytes)*u.perByte*float64(time.Second))
+}
+
+func (u *fakeUpper) FetchAttrs(ids []graph.VertexID, dst []float64) time.Duration {
+	for i, id := range ids {
+		copy(dst[i*u.stride:(i+1)*u.stride], u.attrs[int(id)*u.stride:(int(id)+1)*u.stride])
+	}
+	return u.BoundaryCost(int64(len(ids)) * int64(8*u.stride+4))
+}
+
+func (u *fakeUpper) PushAttrs(ids []graph.VertexID, rows []float64) time.Duration {
+	for i, id := range ids {
+		copy(u.attrs[int(id)*u.stride:(int(id)+1)*u.stride], rows[i*u.stride:(i+1)*u.stride])
+	}
+	return u.BoundaryCost(int64(len(ids)) * int64(8*u.stride+4))
+}
+
+func (u *fakeUpper) PushMessages(count int, bytes int64) time.Duration {
+	return u.BoundaryCost(bytes)
+}
+func (u *fakeUpper) FetchMessages(count int, bytes int64) time.Duration {
+	return u.BoundaryCost(bytes)
+}
+
+func testCtx(g *graph.Graph) *template.Context {
+	return &template.Context{
+		NumVertices: g.NumVertices(),
+		OutDeg:      func(v graph.VertexID) int { return g.OutDegree(v) },
+		InDeg:       func(v graph.VertexID) int { return g.InDegree(v) },
+	}
+}
+
+// driveAgents runs a full BSP execution of alg over g on m simulated
+// nodes, each with its own agent/daemon stack, and returns the final
+// authoritative attributes plus the cluster (for cost inspection).
+func driveAgents(t *testing.T, g *graph.Graph, m int, alg template.Algorithm, opts Options) ([]float64, *cluster.Cluster, []*Agent) {
+	t.Helper()
+	part := graph.EdgeCutByHash(g, m)
+	cl := cluster.New(m, cluster.DatacenterNet())
+	ctx := testCtx(g)
+	upper := newFakeUpper(g, alg, ctx)
+
+	agents := make([]*Agent, m)
+	for j := 0; j < m; j++ {
+		agents[j] = NewAgent(cl.Node(j), part.Parts[j], alg, ctx, upper, opts)
+		if err := agents[j].Connect(); err != nil {
+			t.Fatalf("node %d connect: %v", j, err)
+		}
+	}
+
+	hints := alg.Hints()
+	active := template.InitialFrontier(alg, g.NumVertices())
+	mw := alg.MsgWidth()
+	for iter := 0; ; iter++ {
+		if hints.MaxIterations > 0 && iter >= hints.MaxIterations {
+			break
+		}
+		ctx.Iteration = iter
+		results := make([]*GenResult, m)
+		for j := 0; j < m; j++ {
+			res, err := agents[j].RequestGen(func(id graph.VertexID) bool { return active[id] })
+			if err != nil {
+				t.Fatalf("iter %d node %d gen: %v", iter, j, err)
+			}
+			results[j] = res
+		}
+		// Route remote messages to owners, pre-merging across senders.
+		incoming := make([]map[graph.VertexID][]float64, m)
+		for j := range incoming {
+			incoming[j] = make(map[graph.VertexID][]float64)
+		}
+		for j := 0; j < m; j++ {
+			for id, msg := range results[j].Remote {
+				o := part.Owner[id]
+				acc, ok := incoming[o][id]
+				if !ok {
+					acc = make([]float64, mw)
+					alg.MergeIdentity(acc)
+					incoming[o][id] = acc
+				}
+				alg.MSGMerge(acc, msg)
+			}
+		}
+		changedAny := false
+		for j := 0; j < m; j++ {
+			if err := agents[j].RequestMerge(results[j], incoming[j]); err != nil {
+				t.Fatalf("iter %d node %d merge: %v", iter, j, err)
+			}
+			ar, err := agents[j].RequestApply(results[j])
+			if err != nil {
+				t.Fatalf("iter %d node %d apply: %v", iter, j, err)
+			}
+			for mi, ch := range ar.Changed {
+				id := agents[j].Masters()[mi]
+				active[id] = ch
+				if ch {
+					changedAny = true
+				}
+			}
+		}
+		if !changedAny {
+			break
+		}
+	}
+	for j := 0; j < m; j++ {
+		agents[j].Disconnect()
+	}
+	return upper.attrs, cl, agents
+}
+
+func fastOpts() Options {
+	o := DefaultOptions()
+	// A small CPU device keeps unit tests quick while exercising the same
+	// code paths.
+	o.Devices = []device.Spec{device.Xeon20()}
+	return o
+}
+
+func maxDiff(a, b []float64) float64 {
+	var worst float64
+	for i := range a {
+		if math.IsInf(a[i], 1) && math.IsInf(b[i], 1) {
+			continue
+		}
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.RMATConfig{
+		NumVertices: 400, NumEdges: 3000, A: 0.57, B: 0.19, C: 0.19, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAgentPageRankSingleNode(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	got, _, _ := driveAgents(t, g, 1, pr, fastOpts())
+	want, _ := algos.RefPageRank(g, pr.Damping, pr.Tol, 0)
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Fatalf("PageRank diverges from reference by %v", d)
+	}
+}
+
+func TestAgentPageRankThreeNodes(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	got, _, _ := driveAgents(t, g, 3, pr, fastOpts())
+	want, _ := algos.RefPageRank(g, pr.Damping, pr.Tol, 0)
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Fatalf("3-node PageRank diverges from reference by %v", d)
+	}
+}
+
+func TestAgentSSSPTwoNodes(t *testing.T) {
+	g := testGraph(t)
+	srcs := algos.DefaultSources(g.NumVertices())
+	alg := algos.NewSSSPBF(srcs)
+	got, _, _ := driveAgents(t, g, 2, alg, fastOpts())
+	want, _ := algos.RefSSSPBF(g, srcs)
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Fatalf("SSSP diverges from reference by %v", d)
+	}
+}
+
+func TestAgentCCFourNodes(t *testing.T) {
+	g, err := gen.Road(gen.RoadConfig{Rows: 15, Cols: 15, DiagonalFraction: 0.1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := driveAgents(t, g, 4, algos.NewCC(), fastOpts())
+	want, _ := algos.RefCC(g)
+	if d := maxDiff(got, want); d != 0 {
+		t.Fatalf("CC diverges from reference by %v", d)
+	}
+}
+
+func TestAgentKCoreTwoNodes(t *testing.T) {
+	g := testGraph(t)
+	got, _, _ := driveAgents(t, g, 2, algos.NewKCore(3), fastOpts())
+	want, _ := algos.RefKCore(g, 3)
+	for v := 0; v < g.NumVertices(); v++ {
+		if got[v*2] != want[v] {
+			t.Fatalf("k-core: vertex %d alive=%v, want %v", v, got[v*2], want[v])
+		}
+	}
+}
+
+func TestAgentGPUMatchesCPU(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	cpuOpts := fastOpts()
+	gpuOpts := fastOpts()
+	gpuOpts.Devices = []device.Spec{device.V100()}
+	gotCPU, _, _ := driveAgents(t, g, 2, pr, cpuOpts)
+	gotGPU, _, _ := driveAgents(t, g, 2, pr, gpuOpts)
+	if d := maxDiff(gotCPU, gotGPU); d > 1e-9 {
+		t.Fatalf("GPU and CPU daemons disagree by %v", d)
+	}
+}
+
+func TestAgentMultiDaemonMatchesSingle(t *testing.T) {
+	g := testGraph(t)
+	srcs := algos.DefaultSources(g.NumVertices())
+	alg := algos.NewSSSPBF(srcs)
+	one := fastOpts()
+	two := fastOpts()
+	two.Devices = []device.Spec{device.V100(), device.Xeon20()}
+	got1, _, _ := driveAgents(t, g, 2, alg, one)
+	got2, _, _ := driveAgents(t, g, 2, alg, two)
+	if d := maxDiff(got1, got2); d > 1e-9 {
+		t.Fatalf("mixed daemons disagree with single daemon by %v", d)
+	}
+}
+
+// A GPU daemon must make the middleware compute time smaller than a CPU
+// daemon once the workload is large enough to saturate it (tiny graphs
+// legitimately favour the CPU's lower launch latency).
+func TestAgentGPUFasterThanCPU(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATConfig{
+		NumVertices: 8000, NumEdges: 120_000, A: 0.57, B: 0.19, C: 0.19, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := algos.NewLP() // compute-heavy kernel, fixed 15 iterations
+	_, _, cpuAgents := driveAgents(t, g, 1, lp, fastOpts())
+	gpuOpts := fastOpts()
+	gpuOpts.Devices = []device.Spec{device.V100()}
+	_, _, gpuAgents := driveAgents(t, g, 1, lp, gpuOpts)
+	ct := cpuAgents[0].Stats().DeviceTime
+	gt := gpuAgents[0].Stats().DeviceTime
+	if gt >= ct {
+		t.Fatalf("GPU device time %v not below CPU %v", gt, ct)
+	}
+}
+
+func TestAgentCachingReducesBoundaryTraffic(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	withOpts := fastOpts()
+	withoutOpts := fastOpts()
+	withoutOpts.Caching = false
+
+	gotWith, _, aWith := driveAgents(t, g, 2, pr, withOpts)
+	gotWithout, _, aWithout := driveAgents(t, g, 2, pr, withoutOpts)
+	if d := maxDiff(gotWith, gotWithout); d > 1e-9 {
+		t.Fatalf("caching changed results by %v", d)
+	}
+	var bWith, bWithout time.Duration
+	for _, a := range aWith {
+		bWith += a.Stats().BoundaryTime
+	}
+	for _, a := range aWithout {
+		bWithout += a.Stats().BoundaryTime
+	}
+	if bWith >= bWithout {
+		t.Fatalf("caching did not reduce boundary time: %v vs %v", bWith, bWithout)
+	}
+}
+
+func TestAgentPipelineFasterThanSequential(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	pipeOpts := fastOpts()
+	pipeOpts.OptimalBlockSize = false
+	pipeOpts.FixedBlockCount = 16
+	seqOpts := pipeOpts
+	seqOpts.Pipeline = false
+
+	_, _, ap := driveAgents(t, g, 1, pr, pipeOpts)
+	_, _, as := driveAgents(t, g, 1, pr, seqOpts)
+	pt := ap[0].Stats().PipelineTime
+	st := as[0].Stats().PipelineTime
+	if pt >= st {
+		t.Fatalf("pipelined %v not faster than sequential %v", pt, st)
+	}
+}
+
+func TestAgentRawCallPaysInitRepeatedly(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	persistent := fastOpts()
+	raw := fastOpts()
+	raw.RawCall = true
+	_, clP, _ := driveAgents(t, g, 1, pr, persistent)
+	_, clR, _ := driveAgents(t, g, 1, pr, raw)
+	if clR.MaxTime() <= clP.MaxTime() {
+		t.Fatalf("raw-call run (%v) not slower than persistent daemon (%v)",
+			clR.MaxTime(), clP.MaxTime())
+	}
+}
+
+func TestAgentOOMSurfacesAtConnect(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	part := graph.EdgeCutByHash(g, 1)
+	cl := cluster.New(1, cluster.DatacenterNet())
+	ctx := testCtx(g)
+	upper := newFakeUpper(g, pr, ctx)
+	opts := fastOpts()
+	tiny := device.V100()
+	tiny.MemBytes = 1024 // nothing fits
+	opts.Devices = []device.Spec{tiny}
+	a := NewAgent(cl.Node(0), part.Parts[0], pr, ctx, upper, opts)
+	err := a.Connect()
+	if !errors.Is(err, device.ErrOutOfMemory) {
+		t.Fatalf("connect err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestAgentUseBeforeConnect(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	part := graph.EdgeCutByHash(g, 1)
+	cl := cluster.New(1, cluster.DatacenterNet())
+	ctx := testCtx(g)
+	a := NewAgent(cl.Node(0), part.Parts[0], pr, ctx, newFakeUpper(g, pr, ctx), fastOpts())
+	if _, err := a.RequestGen(nil); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("gen err = %v, want ErrNotConnected", err)
+	}
+	if _, err := a.RequestApply(&GenResult{}); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("apply err = %v, want ErrNotConnected", err)
+	}
+}
+
+// LocalOnly must be true when a range partition keeps a whole SSSP wave
+// inside one node, and the hash partition must break that.
+func TestApplyLocalOnlyFlag(t *testing.T) {
+	// A long path: range partitioning gives each node a contiguous run.
+	const n = 64
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 0; v < n-1; v++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(v + 1), Weight: 1})
+	}
+	g := graph.MustFromEdges(n, edges)
+	alg := algos.NewSSSPBF([]graph.VertexID{0})
+	part := graph.EdgeCutByRange(g, 2)
+	cl := cluster.New(2, cluster.DatacenterNet())
+	ctx := testCtx(g)
+	upper := newFakeUpper(g, alg, ctx)
+	a := NewAgent(cl.Node(0), part.Parts[0], alg, ctx, upper, fastOpts())
+	if err := a.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Disconnect()
+	active := template.InitialFrontier(alg, n)
+	res, err := a.RequestGen(func(id graph.VertexID) bool { return active[id] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := a.RequestApply(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ar.LocalOnly {
+		t.Fatal("first SSSP wave on a range-partitioned path should be local-only")
+	}
+}
+
+func TestAgentStatsPopulated(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	_, _, agents := driveAgents(t, g, 1, pr, fastOpts())
+	s := agents[0].Stats()
+	if s.Entities == 0 || s.Blocks == 0 || s.Iterations == 0 {
+		t.Fatalf("stats not populated: %+v", s)
+	}
+	if s.DeviceTime == 0 || s.PipelineTime == 0 || s.BoundaryTime == 0 {
+		t.Fatalf("time stats not populated: %+v", s)
+	}
+	if s.DeviceInit == 0 {
+		t.Fatal("device init not recorded")
+	}
+}
+
+func TestAgentDoubleConnect(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	part := graph.EdgeCutByHash(g, 1)
+	cl := cluster.New(1, cluster.DatacenterNet())
+	ctx := testCtx(g)
+	a := NewAgent(cl.Node(0), part.Parts[0], pr, ctx, newFakeUpper(g, pr, ctx), fastOpts())
+	if err := a.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Disconnect()
+	if err := a.Connect(); err == nil {
+		t.Fatal("double connect accepted")
+	}
+}

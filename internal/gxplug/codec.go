@@ -1,0 +1,371 @@
+// Package gxplug implements the GX-Plug middleware core: the daemon-agent
+// framework of §II, with daemons as accelerator-owning goroutine
+// "processes" reachable only through the System V IPC layer, agents
+// embedded in upper-system nodes, shared-memory block exchange, the
+// pipeline-shuffle rotation protocol of §III-A, synchronization caching
+// and skipping of §III-B, and the workload-balancing hooks of §III-C.
+package gxplug
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gxplug/internal/graph"
+)
+
+// The codec serializes vertex/edge blocks into shared-memory segments —
+// the "data packager" of §IV-B1: bit-level layout, no reflection, space
+// reserved for the daemon's results so no second buffer is needed.
+
+const (
+	blockKindGen   = 0xB10C0001
+	blockKindApply = 0xB10C0002
+	blockKindMerge = 0xB10C0003
+)
+
+const tripletBytes = 4 + 4 + 4 + 4 + 8 // src, dst, srcRow, dstRow, w
+
+// genBlockSize returns the segment bytes needed for a Gen block with
+// result area.
+func genBlockSize(nTriplets, nVerts, attrW, msgW int) int {
+	header := 6 * 4
+	trips := nTriplets * tripletBytes
+	ids := nVerts * 4
+	attrs := nVerts * attrW * 8
+	acc := nVerts * msgW * 8
+	recv := nVerts
+	cost := 8
+	return header + trips + ids + attrs + acc + recv + cost
+}
+
+// applyBlockSize returns the segment bytes for an Apply block.
+func applyBlockSize(nVerts, attrW, msgW int) int {
+	header := 4 * 4
+	ids := nVerts * 4
+	attrs := nVerts * attrW * 8
+	msgs := nVerts * msgW * 8
+	recv := nVerts
+	changed := nVerts
+	cost := 8
+	return header + ids + attrs + msgs + recv + changed + cost
+}
+
+// mergeBlockSize returns the segment bytes for a Merge block.
+func mergeBlockSize(rows, msgW int) int {
+	return 3*4 + 2*rows*msgW*8 + 8
+}
+
+type cursor struct {
+	buf []byte
+	off int
+}
+
+func (c *cursor) u32(v uint32) {
+	binary.LittleEndian.PutUint32(c.buf[c.off:], v)
+	c.off += 4
+}
+func (c *cursor) i32(v int32) { c.u32(uint32(v)) }
+func (c *cursor) f64(v float64) {
+	binary.LittleEndian.PutUint64(c.buf[c.off:], math.Float64bits(v))
+	c.off += 8
+}
+func (c *cursor) u64(v uint64) {
+	binary.LittleEndian.PutUint64(c.buf[c.off:], v)
+	c.off += 8
+}
+func (c *cursor) b(v byte) {
+	c.buf[c.off] = v
+	c.off++
+}
+
+func (c *cursor) rdU32() uint32 {
+	v := binary.LittleEndian.Uint32(c.buf[c.off:])
+	c.off += 4
+	return v
+}
+func (c *cursor) rdI32() int32 { return int32(c.rdU32()) }
+func (c *cursor) rdF64() float64 {
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.buf[c.off:]))
+	c.off += 8
+	return v
+}
+func (c *cursor) rdU64() uint64 {
+	v := binary.LittleEndian.Uint64(c.buf[c.off:])
+	c.off += 8
+	return v
+}
+func (c *cursor) rdB() byte {
+	v := c.buf[c.off]
+	c.off++
+	return v
+}
+
+// encodeGenBlock writes an edge block plus its paired vertex block into
+// seg and returns the number of payload bytes written (excluding the
+// reserved result area). resident marks the topology as already held by
+// the daemon from the previous iteration, so only attribute bytes move
+// across the device link.
+func encodeGenBlock(seg []byte, eb *graph.EdgeBlock, vb *graph.VertexBlock, msgW int, resident bool) (int, error) {
+	need := genBlockSize(len(eb.Triplets), len(vb.IDs), vb.Stride, msgW)
+	if need > len(seg) {
+		return 0, fmt.Errorf("gxplug: gen block needs %d bytes, segment has %d", need, len(seg))
+	}
+	c := &cursor{buf: seg}
+	c.u32(blockKindGen)
+	c.u32(uint32(len(eb.Triplets)))
+	c.u32(uint32(len(vb.IDs)))
+	c.u32(uint32(vb.Stride))
+	c.u32(uint32(msgW))
+	if resident {
+		c.u32(1)
+	} else {
+		c.u32(0)
+	}
+	for _, t := range eb.Triplets {
+		c.u32(uint32(t.Src))
+		c.u32(uint32(t.Dst))
+		c.i32(t.SrcRow)
+		c.i32(t.DstRow)
+		c.f64(t.W)
+	}
+	for _, id := range vb.IDs {
+		c.u32(uint32(id))
+	}
+	for _, a := range vb.Attrs {
+		c.f64(a)
+	}
+	return c.off, nil
+}
+
+// decodeGenBlock reads the agent's payload back out of a segment.
+func decodeGenBlock(seg []byte) (eb *graph.EdgeBlock, vb *graph.VertexBlock, msgW int, resident bool, resultOff int, err error) {
+	c := &cursor{buf: seg}
+	if kind := c.rdU32(); kind != blockKindGen {
+		return nil, nil, 0, false, 0, fmt.Errorf("gxplug: segment kind %#x, want gen block", kind)
+	}
+	nT := int(c.rdU32())
+	nV := int(c.rdU32())
+	attrW := int(c.rdU32())
+	msgW = int(c.rdU32())
+	resident = c.rdU32() != 0
+	if genBlockSize(nT, nV, attrW, msgW) > len(seg) {
+		return nil, nil, 0, false, 0, fmt.Errorf("gxplug: truncated gen block")
+	}
+	eb = &graph.EdgeBlock{Triplets: make([]graph.Triplet, nT)}
+	for i := range eb.Triplets {
+		eb.Triplets[i] = graph.Triplet{
+			Src:    graph.VertexID(c.rdU32()),
+			Dst:    graph.VertexID(c.rdU32()),
+			SrcRow: c.rdI32(),
+			DstRow: c.rdI32(),
+			W:      c.rdF64(),
+		}
+	}
+	vb = &graph.VertexBlock{IDs: make([]graph.VertexID, nV), Stride: attrW, Attrs: make([]float64, nV*attrW)}
+	for i := range vb.IDs {
+		vb.IDs[i] = graph.VertexID(c.rdU32())
+	}
+	for i := range vb.Attrs {
+		vb.Attrs[i] = c.rdF64()
+	}
+	return eb, vb, msgW, resident, c.off, nil
+}
+
+// writeGenResult stores the daemon's accumulator, receive flags and
+// device cost at the reserved offset.
+func writeGenResult(seg []byte, resultOff int, acc []float64, recv []bool, costNanos uint64) {
+	c := &cursor{buf: seg, off: resultOff}
+	for _, v := range acc {
+		c.f64(v)
+	}
+	for _, r := range recv {
+		if r {
+			c.b(1)
+		} else {
+			c.b(0)
+		}
+	}
+	c.u64(costNanos)
+}
+
+// readGenResult extracts the daemon's results; the caller supplies the
+// block geometry it encoded.
+func readGenResult(seg []byte, resultOff, nVerts, msgW int) (acc []float64, recv []bool, costNanos uint64) {
+	c := &cursor{buf: seg, off: resultOff}
+	acc = make([]float64, nVerts*msgW)
+	for i := range acc {
+		acc[i] = c.rdF64()
+	}
+	recv = make([]bool, nVerts)
+	for i := range recv {
+		recv[i] = c.rdB() != 0
+	}
+	return acc, recv, c.rdU64()
+}
+
+// encodeApplyBlock writes an apply batch: vertex rows with their merged
+// messages and receive flags.
+func encodeApplyBlock(seg []byte, ids []graph.VertexID, attrs []float64, attrW int, msgs []float64, msgW int, recv []bool) (int, error) {
+	need := applyBlockSize(len(ids), attrW, msgW)
+	if need > len(seg) {
+		return 0, fmt.Errorf("gxplug: apply block needs %d bytes, segment has %d", need, len(seg))
+	}
+	c := &cursor{buf: seg}
+	c.u32(blockKindApply)
+	c.u32(uint32(len(ids)))
+	c.u32(uint32(attrW))
+	c.u32(uint32(msgW))
+	for _, id := range ids {
+		c.u32(uint32(id))
+	}
+	for _, v := range attrs {
+		c.f64(v)
+	}
+	for _, v := range msgs {
+		c.f64(v)
+	}
+	for _, r := range recv {
+		if r {
+			c.b(1)
+		} else {
+			c.b(0)
+		}
+	}
+	return c.off, nil
+}
+
+// decodeApplyBlock reads an apply batch on the daemon side.
+func decodeApplyBlock(seg []byte) (ids []graph.VertexID, attrs []float64, attrW int, msgs []float64, msgW int, recv []bool, resultOff int, err error) {
+	c := &cursor{buf: seg}
+	if kind := c.rdU32(); kind != blockKindApply {
+		return nil, nil, 0, nil, 0, nil, 0, fmt.Errorf("gxplug: segment kind %#x, want apply block", kind)
+	}
+	n := int(c.rdU32())
+	attrW = int(c.rdU32())
+	msgW = int(c.rdU32())
+	if applyBlockSize(n, attrW, msgW) > len(seg) {
+		return nil, nil, 0, nil, 0, nil, 0, fmt.Errorf("gxplug: truncated apply block")
+	}
+	ids = make([]graph.VertexID, n)
+	for i := range ids {
+		ids[i] = graph.VertexID(c.rdU32())
+	}
+	attrs = make([]float64, n*attrW)
+	for i := range attrs {
+		attrs[i] = c.rdF64()
+	}
+	msgs = make([]float64, n*msgW)
+	for i := range msgs {
+		msgs[i] = c.rdF64()
+	}
+	recv = make([]bool, n)
+	for i := range recv {
+		recv[i] = c.rdB() != 0
+	}
+	return ids, attrs, attrW, msgs, msgW, recv, c.off, nil
+}
+
+// writeApplyResult stores updated attributes in place plus changed flags
+// and cost. attrOff is where the attribute array began in the segment.
+func writeApplyResult(seg []byte, attrOff int, attrs []float64, resultOff int, changed []bool, costNanos uint64) {
+	c := &cursor{buf: seg, off: attrOff}
+	for _, v := range attrs {
+		c.f64(v)
+	}
+	c = &cursor{buf: seg, off: resultOff}
+	for _, ch := range changed {
+		if ch {
+			c.b(1)
+		} else {
+			c.b(0)
+		}
+	}
+	c.u64(costNanos)
+}
+
+// readApplyResult extracts updated attributes and changed flags on the
+// agent side. The layout mirrors encodeApplyBlock.
+func readApplyResult(seg []byte, n, attrW, msgW int) (attrs []float64, changed []bool, costNanos uint64) {
+	attrOff := 4*4 + n*4
+	c := &cursor{buf: seg, off: attrOff}
+	attrs = make([]float64, n*attrW)
+	for i := range attrs {
+		attrs[i] = c.rdF64()
+	}
+	resultOff := applyBlockSize(n, attrW, msgW) - n - 8
+	c = &cursor{buf: seg, off: resultOff}
+	changed = make([]bool, n)
+	for i := range changed {
+		changed[i] = c.rdB() != 0
+	}
+	return attrs, changed, c.rdU64()
+}
+
+// encodeMergeBlock writes two accumulator arrays for a daemon-side merge.
+func encodeMergeBlock(seg []byte, accA, accB []float64, msgW int) (int, error) {
+	if len(accA) != len(accB) || msgW <= 0 || len(accA)%msgW != 0 {
+		return 0, fmt.Errorf("gxplug: merge block geometry %d/%d width %d", len(accA), len(accB), msgW)
+	}
+	rows := len(accA) / msgW
+	if mergeBlockSize(rows, msgW) > len(seg) {
+		return 0, fmt.Errorf("gxplug: merge block needs %d bytes, segment has %d", mergeBlockSize(rows, msgW), len(seg))
+	}
+	c := &cursor{buf: seg}
+	c.u32(blockKindMerge)
+	c.u32(uint32(rows))
+	c.u32(uint32(msgW))
+	for _, v := range accA {
+		c.f64(v)
+	}
+	for _, v := range accB {
+		c.f64(v)
+	}
+	return c.off, nil
+}
+
+// decodeMergeBlock reads the two accumulators on the daemon side.
+func decodeMergeBlock(seg []byte) (accA, accB []float64, msgW, resultOff int, err error) {
+	c := &cursor{buf: seg}
+	if kind := c.rdU32(); kind != blockKindMerge {
+		return nil, nil, 0, 0, fmt.Errorf("gxplug: segment kind %#x, want merge block", kind)
+	}
+	rows := int(c.rdU32())
+	msgW = int(c.rdU32())
+	if mergeBlockSize(rows, msgW) > len(seg) {
+		return nil, nil, 0, 0, fmt.Errorf("gxplug: truncated merge block")
+	}
+	accA = make([]float64, rows*msgW)
+	for i := range accA {
+		accA[i] = c.rdF64()
+	}
+	accB = make([]float64, rows*msgW)
+	for i := range accB {
+		accB[i] = c.rdF64()
+	}
+	return accA, accB, msgW, c.off, nil
+}
+
+// writeMergeResult stores the merged accumulator over accA's slot.
+func writeMergeResult(seg []byte, merged []float64, costNanos uint64) {
+	c := &cursor{buf: seg, off: 3 * 4}
+	for _, v := range merged {
+		c.f64(v)
+	}
+	// Cost goes at the reserved tail.
+	rows := len(merged)
+	_ = rows
+	tail := &cursor{buf: seg, off: 3*4 + 2*len(merged)*8}
+	tail.u64(costNanos)
+}
+
+// readMergeResult extracts the merged accumulator.
+func readMergeResult(seg []byte, rows, msgW int) (merged []float64, costNanos uint64) {
+	c := &cursor{buf: seg, off: 3 * 4}
+	merged = make([]float64, rows*msgW)
+	for i := range merged {
+		merged[i] = c.rdF64()
+	}
+	tail := &cursor{buf: seg, off: 3*4 + 2*rows*msgW*8}
+	return merged, tail.rdU64()
+}

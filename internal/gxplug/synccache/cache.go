@@ -1,0 +1,212 @@
+// Package synccache implements the inter-iteration synchronization
+// caching of §III-B2: an agent-local vertex cache that avoids
+// re-downloading unchanged vertices from the upper system every
+// iteration, plus the dirty-tracking that drives lazy uploading through
+// the global query/data queues.
+//
+// The paper describes the cache as "organized in a least recently used
+// manner"; its prose about weights is self-contradictory (weights both
+// increase on use and the highest-weight entry is evicted), so this
+// implementation normalizes to standard LRU semantics — evict the least
+// recently used entry — which matches the section title and the stated
+// intent.
+package synccache
+
+import (
+	"container/list"
+	"fmt"
+
+	"gxplug/internal/graph"
+)
+
+// Stats counts cache activity; the Fig 11a harness reads it.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// DirtyEvictions counts evictions of not-yet-uploaded entries — each
+	// forces an immediate upload ("if the chosen vertices were updated in
+	// previous iterations, corresponding information will be uploaded").
+	DirtyEvictions int64
+}
+
+type entry struct {
+	id    graph.VertexID
+	row   []float64
+	dirty bool
+	elem  *list.Element
+}
+
+// Cache is a fixed-capacity LRU of vertex attribute rows.
+type Cache struct {
+	cap    int
+	stride int
+	m      map[graph.VertexID]*entry
+	lru    *list.List // front = most recent
+	stats  Stats
+}
+
+// New creates a cache holding at most capacity rows of the given stride.
+func New(capacity, stride int) *Cache {
+	if capacity <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("synccache: capacity %d stride %d", capacity, stride))
+	}
+	return &Cache{
+		cap:    capacity,
+		stride: stride,
+		m:      make(map[graph.VertexID]*entry, capacity),
+		lru:    list.New(),
+	}
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int { return len(c.m) }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Get returns the cached row for id, counting a hit or miss. The returned
+// slice aliases cache storage and stays valid until the entry is evicted.
+func (c *Cache) Get(id graph.VertexID) ([]float64, bool) {
+	e, ok := c.m[id]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.lru.MoveToFront(e.elem)
+	return e.row, true
+}
+
+// Evicted describes an entry pushed out by Put.
+type Evicted struct {
+	ID    graph.VertexID
+	Row   []float64
+	Dirty bool
+}
+
+// Put inserts or refreshes a row (copied). If the cache is full, the
+// least recently used entry is evicted and returned so the agent can
+// upload it if it was dirty.
+func (c *Cache) Put(id graph.VertexID, row []float64) (ev Evicted, evicted bool) {
+	if len(row) != c.stride {
+		panic(fmt.Sprintf("synccache: row width %d, stride %d", len(row), c.stride))
+	}
+	if e, ok := c.m[id]; ok {
+		copy(e.row, row)
+		c.lru.MoveToFront(e.elem)
+		return Evicted{}, false
+	}
+	if len(c.m) >= c.cap {
+		back := c.lru.Back()
+		old := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.m, old.id)
+		c.stats.Evictions++
+		if old.dirty {
+			c.stats.DirtyEvictions++
+		}
+		ev = Evicted{ID: old.id, Row: old.row, Dirty: old.dirty}
+		evicted = true
+	}
+	e := &entry{id: id, row: append([]float64(nil), row...)}
+	e.elem = c.lru.PushFront(e)
+	c.m[id] = e
+	return ev, evicted
+}
+
+// Update overwrites the row of a cached entry with computation results
+// and marks it dirty (updated locally, not yet uploaded to the upper
+// system). It reports whether the entry was present.
+func (c *Cache) Update(id graph.VertexID, row []float64) bool {
+	e, ok := c.m[id]
+	if !ok {
+		return false
+	}
+	copy(e.row, row)
+	e.dirty = true
+	c.lru.MoveToFront(e.elem)
+	return true
+}
+
+// Invalidate drops an entry (a remote node updated the vertex, so the
+// cached copy is stale). Dirty state is discarded: the remote value
+// supersedes the local one.
+func (c *Cache) Invalidate(id graph.VertexID) {
+	if e, ok := c.m[id]; ok {
+		c.lru.Remove(e.elem)
+		delete(c.m, id)
+	}
+}
+
+// Dirty returns the IDs of all dirty entries, in no particular order.
+// This is the agent's contribution to lazy uploading: dirty entries are
+// uploaded only when queried (or at flush).
+func (c *Cache) Dirty() []graph.VertexID {
+	var out []graph.VertexID
+	for id, e := range c.m {
+		if e.dirty {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MarkClean clears the dirty flag after an upload.
+func (c *Cache) MarkClean(id graph.VertexID) {
+	if e, ok := c.m[id]; ok {
+		e.dirty = false
+	}
+}
+
+// FlushDirty returns all dirty entries and marks them clean — the
+// end-of-run upload that makes the upper system's state authoritative
+// again.
+func (c *Cache) FlushDirty() []Evicted {
+	var out []Evicted
+	for id, e := range c.m {
+		if e.dirty {
+			out = append(out, Evicted{ID: id, Row: e.row, Dirty: true})
+			e.dirty = false
+		}
+	}
+	return out
+}
+
+// QueryQueue is the global query queue of lazy uploading (§III-B2b):
+// every agent pushes the vertex IDs it will need next iteration; the
+// union is broadcast; each agent answers with the dirty vertices it owns
+// that appear in the union.
+type QueryQueue struct {
+	need map[graph.VertexID]bool
+}
+
+// NewQueryQueue creates an empty queue.
+func NewQueryQueue() *QueryQueue {
+	return &QueryQueue{need: make(map[graph.VertexID]bool)}
+}
+
+// Push adds one agent's needed vertices.
+func (q *QueryQueue) Push(ids []graph.VertexID) {
+	for _, id := range ids {
+		q.need[id] = true
+	}
+}
+
+// Len returns the number of distinct queried vertices.
+func (q *QueryQueue) Len() int { return len(q.need) }
+
+// Needed reports whether a vertex is queried.
+func (q *QueryQueue) Needed(id graph.VertexID) bool { return q.need[id] }
+
+// Filter returns the subset of ids that are queried — the vertices an
+// agent must actually upload to the global data queue.
+func (q *QueryQueue) Filter(ids []graph.VertexID) []graph.VertexID {
+	var out []graph.VertexID
+	for _, id := range ids {
+		if q.need[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

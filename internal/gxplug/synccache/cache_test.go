@@ -1,0 +1,234 @@
+package synccache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gxplug/internal/graph"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, c := range [][2]int{{0, 1}, {1, 0}} {
+		func() {
+			defer func() { recover() }()
+			New(c[0], c[1])
+			t.Errorf("New(%d,%d) accepted", c[0], c[1])
+		}()
+	}
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	c := New(4, 2)
+	if _, ok := c.Get(7); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(7, []float64{1, 2})
+	row, ok := c.Get(7)
+	if !ok || row[0] != 1 || row[1] != 2 {
+		t.Fatalf("get after put: %v %v", row, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestPutCopiesRow(t *testing.T) {
+	c := New(2, 1)
+	src := []float64{5}
+	c.Put(1, src)
+	src[0] = 99
+	row, _ := c.Get(1)
+	if row[0] != 5 {
+		t.Fatal("Put aliased caller's slice")
+	}
+}
+
+func TestPutWrongWidthPanics(t *testing.T) {
+	c := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-width row accepted")
+		}
+	}()
+	c.Put(1, []float64{1})
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(2, 1)
+	c.Put(1, []float64{1})
+	c.Put(2, []float64{2})
+	c.Get(1) // 1 is now most recent; 2 is LRU
+	ev, evicted := c.Put(3, []float64{3})
+	if !evicted || ev.ID != 2 {
+		t.Fatalf("evicted %+v, want vertex 2", ev)
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestPutExistingRefreshesNoEvict(t *testing.T) {
+	c := New(1, 1)
+	c.Put(1, []float64{1})
+	_, evicted := c.Put(1, []float64{2})
+	if evicted {
+		t.Fatal("refreshing an entry evicted something")
+	}
+	row, _ := c.Get(1)
+	if row[0] != 2 {
+		t.Fatal("refresh did not update value")
+	}
+}
+
+func TestDirtyLifecycle(t *testing.T) {
+	c := New(4, 1)
+	c.Put(1, []float64{1})
+	c.Put(2, []float64{2})
+	if !c.Update(1, []float64{10}) {
+		t.Fatal("update of resident entry failed")
+	}
+	if c.Update(9, []float64{9}) {
+		t.Fatal("update of missing entry succeeded")
+	}
+	d := c.Dirty()
+	if len(d) != 1 || d[0] != 1 {
+		t.Fatalf("dirty = %v, want [1]", d)
+	}
+	c.MarkClean(1)
+	if len(c.Dirty()) != 0 {
+		t.Fatal("MarkClean left dirt")
+	}
+}
+
+func TestDirtyEvictionReported(t *testing.T) {
+	c := New(1, 1)
+	c.Put(1, []float64{1})
+	c.Update(1, []float64{5})
+	ev, evicted := c.Put(2, []float64{2})
+	if !evicted || !ev.Dirty || ev.Row[0] != 5 {
+		t.Fatalf("dirty eviction lost data: %+v", ev)
+	}
+	if c.Stats().DirtyEvictions != 1 {
+		t.Fatalf("stats %+v", c.Stats())
+	}
+}
+
+func TestInvalidateDiscards(t *testing.T) {
+	c := New(2, 1)
+	c.Put(1, []float64{1})
+	c.Update(1, []float64{2})
+	c.Invalidate(1)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("invalidated entry still resident")
+	}
+	if len(c.Dirty()) != 0 {
+		t.Fatal("invalidate kept dirty state")
+	}
+	c.Invalidate(42) // absent: no-op
+}
+
+func TestFlushDirty(t *testing.T) {
+	c := New(4, 1)
+	c.Put(1, []float64{1})
+	c.Put(2, []float64{2})
+	c.Update(1, []float64{10})
+	c.Update(2, []float64{20})
+	fl := c.FlushDirty()
+	if len(fl) != 2 {
+		t.Fatalf("flushed %d, want 2", len(fl))
+	}
+	if len(c.Dirty()) != 0 {
+		t.Fatal("flush left dirt")
+	}
+	if len(c.FlushDirty()) != 0 {
+		t.Fatal("second flush not empty")
+	}
+}
+
+func TestQueryQueue(t *testing.T) {
+	q := NewQueryQueue()
+	q.Push([]graph.VertexID{1, 2, 2, 3})
+	if q.Len() != 3 {
+		t.Fatalf("len %d, want 3 distinct", q.Len())
+	}
+	if !q.Needed(2) || q.Needed(9) {
+		t.Fatal("Needed wrong")
+	}
+	got := q.Filter([]graph.VertexID{2, 5, 3, 9})
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("filter = %v, want [2 3]", got)
+	}
+}
+
+// Property: cache never exceeds capacity, and a Get immediately after Put
+// always hits — under arbitrary operation sequences.
+func TestCacheInvariantsQuick(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw)%8 + 1
+		c := New(capacity, 1)
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 200; op++ {
+			id := graph.VertexID(rng.Intn(20))
+			switch rng.Intn(4) {
+			case 0:
+				c.Put(id, []float64{float64(id)})
+				if _, ok := c.Get(id); !ok {
+					return false
+				}
+			case 1:
+				c.Get(id)
+			case 2:
+				c.Update(id, []float64{float64(id) * 2})
+			case 3:
+				c.Invalidate(id)
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an entry written by Update is either still resident and dirty,
+// or was reported out through a dirty eviction/flush — updates are never
+// silently lost.
+func TestNoLostUpdatesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		c := New(3, 1)
+		rng := rand.New(rand.NewSource(seed))
+		pending := map[graph.VertexID]bool{} // updated, not yet surfaced
+		for op := 0; op < 300; op++ {
+			id := graph.VertexID(rng.Intn(10))
+			switch rng.Intn(3) {
+			case 0:
+				ev, evicted := c.Put(id, []float64{1})
+				if evicted && ev.Dirty {
+					delete(pending, ev.ID) // surfaced via eviction
+				}
+			case 1:
+				if c.Update(id, []float64{2}) {
+					pending[id] = true
+				}
+			case 2:
+				c.Invalidate(id) // remote overwrite: local update superseded
+				delete(pending, id)
+			}
+		}
+		for _, ev := range c.FlushDirty() {
+			delete(pending, ev.ID)
+		}
+		return len(pending) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

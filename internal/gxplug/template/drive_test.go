@@ -1,0 +1,123 @@
+package template_test
+
+import (
+	"math"
+	"testing"
+
+	"gxplug/internal/algos"
+	"gxplug/internal/gen"
+	"gxplug/internal/graph"
+	"gxplug/internal/gxplug/template"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.RMATConfig{
+		NumVertices: 200, NumEdges: 1500, A: 0.57, B: 0.19, C: 0.19, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDriveMatchesReference(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	got, iters := template.Drive(g, pr, nil)
+	want, wantIters := algos.RefPageRank(g, pr.Damping, pr.Tol, 0)
+	if iters != wantIters {
+		t.Fatalf("iterations %d != %d", iters, wantIters)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("rank %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDriveIterStats(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	var seen []template.IterStats
+	template.Drive(g, pr, func(st template.IterStats) bool {
+		seen = append(seen, st)
+		return true
+	})
+	if len(seen) == 0 {
+		t.Fatal("no iterations observed")
+	}
+	for i, st := range seen {
+		if st.Iteration != i {
+			t.Fatalf("iteration numbering broken at %d: %+v", i, st)
+		}
+		// PageRank is GenAll: every iteration touches every edge.
+		if int64(st.Edges) != g.NumEdges() {
+			t.Fatalf("iteration %d processed %d edges, want %d", i, st.Edges, g.NumEdges())
+		}
+		if st.Applied != g.NumVertices() {
+			t.Fatalf("iteration %d applied %d vertices, want all", i, st.Applied)
+		}
+	}
+	// Changed counts must reach zero by the final iteration.
+	if last := seen[len(seen)-1]; last.Changed != 0 {
+		t.Fatalf("final iteration still changed %d vertices", last.Changed)
+	}
+}
+
+func TestDriveEarlyStop(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	_, iters := template.Drive(g, pr, func(st template.IterStats) bool {
+		return st.Iteration < 2 // stop after the third iteration
+	})
+	if iters != 3 {
+		t.Fatalf("early stop ran %d iterations, want 3", iters)
+	}
+}
+
+func TestDriveFrontierDriven(t *testing.T) {
+	// SSSP on a path: iteration i touches exactly one edge.
+	const n = 10
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 0; v < n-1; v++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(v + 1), Weight: 1})
+	}
+	g := graph.MustFromEdges(n, edges)
+	alg := algos.NewSSSPBF([]graph.VertexID{0})
+	var perIter []int
+	template.Drive(g, alg, func(st template.IterStats) bool {
+		perIter = append(perIter, st.Edges)
+		return true
+	})
+	for i, e := range perIter {
+		if i < n-1 && e != 1 {
+			t.Fatalf("iteration %d processed %d edges on a path, want 1", i, e)
+		}
+	}
+}
+
+func TestInitialFrontier(t *testing.T) {
+	pr := algos.NewPageRank()
+	all := template.InitialFrontier(pr, 5)
+	for v, a := range all {
+		if !a {
+			t.Fatalf("PageRank frontier not all-active at %d", v)
+		}
+	}
+	sssp := algos.NewSSSPBF([]graph.VertexID{2})
+	f := template.InitialFrontier(sssp, 5)
+	for v, a := range f {
+		if a != (v == 2) {
+			t.Fatalf("SSSP frontier wrong at %d", v)
+		}
+	}
+	// Out-of-range sources are ignored, not a panic.
+	far := algos.NewSSSPBF([]graph.VertexID{99})
+	f = template.InitialFrontier(far, 5)
+	for _, a := range f {
+		if a {
+			t.Fatal("out-of-range source activated something")
+		}
+	}
+}

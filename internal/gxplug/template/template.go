@@ -1,0 +1,110 @@
+// Package template defines GX-Plug's iteration-based graph algorithm
+// template (§IV-A1): an algorithm is three functions — MSGGen, MSGMerge
+// and MSGApply — over flat float64 attribute and message rows. Engines
+// arrange the calls in whatever order their computation model dictates
+// (BSP runs Gen→Merge→Apply, GAS runs Merge→Apply→Gen, §IV-B2); the
+// algorithm code is identical either way, which is the template's point.
+//
+// Attributes and messages are fixed-width float64 rows so that blocks of
+// them serialize to shared memory byte-for-byte with no reflection (the
+// data packager of §IV-B1).
+package template
+
+import (
+	"gxplug/internal/graph"
+)
+
+// Context carries the per-iteration information an algorithm may read.
+type Context struct {
+	// Iteration is the zero-based iteration number.
+	Iteration int
+	// NumVertices is the global vertex count.
+	NumVertices int
+	// OutDeg and InDeg expose global degrees (upper systems precompute
+	// them during loading, as GraphX and PowerGraph both do).
+	OutDeg func(graph.VertexID) int
+	InDeg  func(graph.VertexID) int
+}
+
+// Emit delivers one message to a destination vertex during MSGGen.
+type Emit func(dst graph.VertexID, msg []float64)
+
+// Algorithm is the template implemented per graph algorithm. All methods
+// must be safe for concurrent use on disjoint data: MSGGen runs data-
+// parallel over triplets on the accelerator, MSGApply over vertices.
+type Algorithm interface {
+	// Name identifies the algorithm in harness output.
+	Name() string
+
+	// AttrWidth is the per-vertex attribute row width.
+	AttrWidth() int
+	// MsgWidth is the message row width.
+	MsgWidth() int
+
+	// Init fills a vertex's initial attribute row.
+	Init(ctx *Context, id graph.VertexID, attr []float64)
+
+	// MSGGen computes the initial messages for one edge triplet: src and
+	// dst with the source's current attributes ("the computation function
+	// for calculating the initial results with vertex and edge blocks and
+	// transforming them into initial messages").
+	MSGGen(ctx *Context, src, dst graph.VertexID, w float64, srcAttr []float64, emit Emit)
+
+	// MergeIdentity writes the identity element of the merge into msg
+	// (e.g. +Inf for min-merges, 0 for sums).
+	MergeIdentity(msg []float64)
+	// MSGMerge folds msg into acc. It must be associative and commutative:
+	// merging happens in parallel on the accelerator and again across
+	// distributed nodes.
+	MSGMerge(acc, msg []float64)
+
+	// MSGApply applies the merged message to a vertex and reports whether
+	// the vertex changed (changed vertices are active next iteration).
+	// received is false when no message arrived for the vertex this
+	// iteration (only possible when ApplyAll is true).
+	MSGApply(ctx *Context, id graph.VertexID, attr, msg []float64, received bool) bool
+
+	// Hints tell engines how to drive and cost the iteration.
+	Hints() Hints
+}
+
+// Hints describes an algorithm's iteration behaviour and device cost.
+type Hints struct {
+	// GenAll: run MSGGen over every edge each iteration regardless of the
+	// active frontier (PageRank and LP recompute from all contributions;
+	// SSSP and CC are frontier-driven).
+	GenAll bool
+	// ApplyAll: run MSGApply on every vertex each iteration, even those
+	// that received no message (PageRank's base-rank term).
+	ApplyAll bool
+	// MaxIterations caps the iteration count; 0 means run to convergence.
+	MaxIterations int
+	// OpsPerEdge / OpsPerVertex calibrate the device cost model.
+	OpsPerEdge   float64
+	OpsPerVertex float64
+}
+
+// InitialFrontier returns the initially active vertices for an algorithm.
+// Algorithms that implement the optional Sourced interface start from
+// their sources; everything else starts all-active.
+func InitialFrontier(a Algorithm, numV int) []bool {
+	active := make([]bool, numV)
+	if s, ok := a.(Sourced); ok {
+		for _, v := range s.Sources() {
+			if int(v) < numV {
+				active[v] = true
+			}
+		}
+		return active
+	}
+	for i := range active {
+		active[i] = true
+	}
+	return active
+}
+
+// Sourced is implemented by algorithms whose computation starts from
+// designated source vertices (SSSP).
+type Sourced interface {
+	Sources() []graph.VertexID
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"gxplug/internal/gen"
+)
+
+// Table1Row is one dataset row: the paper's real sizes next to the
+// generated stand-in's.
+type Table1Row struct {
+	Dataset       gen.Dataset
+	Type          string
+	PaperVertices int64
+	PaperEdges    int64
+	GenVertices   int
+	GenEdges      int64
+	GenAvgDegree  float64
+}
+
+// Table1Result reproduces Table I.
+type Table1Result struct {
+	Scale int64
+	Rows  []Table1Row
+}
+
+// TableDatasets generates every Table I stand-in and reports its shape
+// against the paper's original.
+func TableDatasets(o Options) (*Table1Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Table1Result{Scale: o.Scale}
+	for _, d := range gen.AllDatasets() {
+		info, err := gen.Catalog(d)
+		if err != nil {
+			return nil, err
+		}
+		g, err := load(d, o)
+		if err != nil {
+			return nil, err
+		}
+		st := g.Stats()
+		res.Rows = append(res.Rows, Table1Row{
+			Dataset:       d,
+			Type:          info.Type,
+			PaperVertices: info.PaperVertices,
+			PaperEdges:    info.PaperEdges,
+			GenVertices:   st.Vertices,
+			GenEdges:      st.Edges,
+			GenAvgDegree:  st.AvgDegree,
+		})
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Table I: Datasets (stand-ins at 1/%d scale)", r.Scale),
+		"Dataset", "Type", "Paper V", "Paper E", "Gen V", "Gen E", "Gen deg")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s%-16s%-16d%-16d%-16d%-16d%-16.2f\n",
+			row.Dataset, row.Type, row.PaperVertices, row.PaperEdges,
+			row.GenVertices, row.GenEdges, row.GenAvgDegree)
+	}
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(3 * time.Second)
+	c.Advance(2 * time.Second)
+	if got := c.Now(); got != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Advance(10 * time.Second)
+	c.AdvanceTo(5 * time.Second) // earlier: no-op
+	if c.Now() != 10*time.Second {
+		t.Fatalf("AdvanceTo earlier moved clock to %v", c.Now())
+	}
+	c.AdvanceTo(15 * time.Second)
+	if c.Now() != 15*time.Second {
+		t.Fatalf("AdvanceTo later: clock = %v, want 15s", c.Now())
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(time.Hour)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset: clock = %v, want 0", c.Now())
+	}
+}
+
+func TestTimeFor(t *testing.T) {
+	if got := TimeFor(100, 100); got != time.Second {
+		t.Fatalf("TimeFor(100,100) = %v, want 1s", got)
+	}
+	if got := TimeFor(0, 100); got != 0 {
+		t.Fatalf("TimeFor(0,100) = %v, want 0", got)
+	}
+	if got := TimeFor(-5, 100); got != 0 {
+		t.Fatalf("TimeFor(-5,100) = %v, want 0", got)
+	}
+}
+
+func TestTimeForBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TimeFor with zero rate did not panic")
+		}
+	}()
+	TimeFor(1, 0)
+}
+
+func TestTransferTime(t *testing.T) {
+	lat := 50 * time.Microsecond
+	got := TransferTime(1<<20, float64(1<<20), lat) // 1 MiB over 1 MiB/s
+	want := lat + time.Second
+	if got != want {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+	if got := TransferTime(0, 1e9, lat); got != lat {
+		t.Fatalf("TransferTime(0) = %v, want latency %v", got, lat)
+	}
+}
+
+func TestPipelineMakespanEmpty(t *testing.T) {
+	if got := PipelineMakespan(nil); got != 0 {
+		t.Fatalf("empty makespan = %v, want 0", got)
+	}
+	if got := PipelineMakespan([]StageCosts{{}}); got != 0 {
+		t.Fatalf("zero-stage makespan = %v, want 0", got)
+	}
+}
+
+func TestPipelineMakespanSingleBlock(t *testing.T) {
+	costs := []StageCosts{{time.Second, 2 * time.Second, time.Second}}
+	if got := PipelineMakespan(costs); got != 4*time.Second {
+		t.Fatalf("single block makespan = %v, want 4s", got)
+	}
+}
+
+// With uniform stage costs the wavefront recurrence must agree with the
+// textbook formula (stages + blocks - 1) * cost, which is also what the
+// paper's Equation 1 reduces to when Tn = Tc = Tu.
+func TestPipelineMakespanUniform(t *testing.T) {
+	const blocks, stages = 7, 3
+	unit := time.Second
+	costs := make([]StageCosts, blocks)
+	for i := range costs {
+		costs[i] = StageCosts{unit, unit, unit}
+	}
+	want := time.Duration(blocks+stages-1) * unit
+	if got := PipelineMakespan(costs); got != want {
+		t.Fatalf("uniform makespan = %v, want %v", got, want)
+	}
+	_ = stages
+}
+
+// Matches Equation 1 of the paper for a dominant middle stage:
+// Ttotal = Tn + (s-1)*Tc + Tu when Tc >= Tn, Tc >= Tu.
+func TestPipelineMakespanDominantCompute(t *testing.T) {
+	tn, tc, tu := 1*time.Second, 5*time.Second, 2*time.Second
+	const s = 6
+	costs := make([]StageCosts, s)
+	for i := range costs {
+		costs[i] = StageCosts{tn, tc, tu}
+	}
+	want := tn + s*tc + tu
+	if got := PipelineMakespan(costs); got != want {
+		t.Fatalf("dominant-compute makespan = %v, want %v", got, want)
+	}
+}
+
+func TestSequentialMakespan(t *testing.T) {
+	costs := []StageCosts{
+		{time.Second, time.Second, time.Second},
+		{2 * time.Second, 2 * time.Second, 2 * time.Second},
+	}
+	if got := SequentialMakespan(costs); got != 9*time.Second {
+		t.Fatalf("sequential makespan = %v, want 9s", got)
+	}
+}
+
+// Property: pipelining never loses to sequential execution, and never beats
+// the busiest stage's total work (both classic pipeline bounds).
+func TestPipelineMakespanBounds(t *testing.T) {
+	f := func(raw [][3]uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		costs := make([]StageCosts, len(raw))
+		stageSum := [3]time.Duration{}
+		for i, r := range raw {
+			costs[i] = StageCosts{
+				time.Duration(r[0]) * time.Millisecond,
+				time.Duration(r[1]) * time.Millisecond,
+				time.Duration(r[2]) * time.Millisecond,
+			}
+			for s := 0; s < 3; s++ {
+				stageSum[s] += costs[i][s]
+			}
+		}
+		pipe := PipelineMakespan(costs)
+		seq := SequentialMakespan(costs)
+		if pipe > seq {
+			return false
+		}
+		lower := stageSum[0]
+		for _, v := range stageSum[1:] {
+			if v > lower {
+				lower = v
+			}
+		}
+		return pipe >= lower
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: makespan is monotone — increasing any single stage cost can
+// never decrease the total.
+func TestPipelineMakespanMonotone(t *testing.T) {
+	f := func(raw [][3]uint8, which uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		costs := make([]StageCosts, len(raw))
+		for i, r := range raw {
+			costs[i] = StageCosts{
+				time.Duration(r[0]) * time.Millisecond,
+				time.Duration(r[1]) * time.Millisecond,
+				time.Duration(r[2]) * time.Millisecond,
+			}
+		}
+		before := PipelineMakespan(costs)
+		k := int(which) % len(costs)
+		s := int(which) % 3
+		costs[k][s] += 10 * time.Millisecond
+		after := PipelineMakespan(costs)
+		return after >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineMakespanRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged stage counts did not panic")
+		}
+	}()
+	PipelineMakespan([]StageCosts{{1, 2, 3}, {1, 2}})
+}
+
+func TestSummarize(t *testing.T) {
+	h := Summarize([]time.Duration{3 * time.Second, time.Second, 2 * time.Second})
+	if h.Count != 3 || h.Min != time.Second || h.Max != 3*time.Second {
+		t.Fatalf("bad histogram: %+v", h)
+	}
+	if h.Sum != 6*time.Second || h.Mean() != 2*time.Second {
+		t.Fatalf("sum/mean wrong: %+v", h)
+	}
+	if h.P50 != 2*time.Second {
+		t.Fatalf("P50 = %v, want 2s", h.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	h := Summarize(nil)
+	if h.Count != 0 || h.Mean() != 0 {
+		t.Fatalf("empty summary not zero: %+v", h)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []time.Duration{5, 1, 3}
+	Summarize(in)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Fatalf("Summarize mutated its input: %v", in)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(1500 * time.Millisecond); got != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", got)
+	}
+}
