@@ -1,0 +1,33 @@
+# Developer entry points. `make ci` is what the repository considers its
+# gate: vet, build, and the short test suite under the race detector
+# (GOMAXPROCS is raised so the parallel superstep fan-out really runs
+# concurrently even on small machines).
+
+GO ?= go
+
+.PHONY: all vet build test test-full race ci bench
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -short ./...
+
+# The full suite includes the heavy harness shape sweeps (several minutes).
+test-full:
+	$(GO) test ./...
+
+race:
+	GOMAXPROCS=8 $(GO) test -short -race ./...
+
+ci: vet build race
+
+# Record the engine superstep microbenchmarks (latency + allocs) in
+# BENCH_engine.json.
+bench:
+	$(GO) test ./internal/engine -run '^$$' -bench BenchmarkEngineSuperstep -benchmem | $(GO) run ./cmd/benchjson > BENCH_engine.json

@@ -11,8 +11,9 @@
 // regenerates every table and figure of the paper's evaluation.
 //
 // Start with DESIGN.md for the system inventory and the substitutions
-// made for hardware this environment cannot reach, EXPERIMENTS.md for the
-// paper-versus-measured record, and examples/quickstart for the smallest
-// end-to-end program. The benchmark file bench_test.go in this directory
-// has one testing.B benchmark per table and figure.
+// made for hardware this environment cannot reach, and examples/quickstart
+// for the smallest end-to-end program. The benchmark file bench_test.go in
+// this directory has one testing.B benchmark per table and figure;
+// BENCH_engine.json records the engine superstep microbenchmarks
+// (refresh with `make bench`).
 package gxplug

@@ -1,0 +1,3 @@
+module gxplug
+
+go 1.24

@@ -40,12 +40,22 @@ func (p *PageRank) Init(ctx *template.Context, _ graph.VertexID, attr []float64)
 }
 
 // MSGGen implements template.Algorithm.
-func (p *PageRank) MSGGen(ctx *template.Context, src, dst graph.VertexID, _ float64, srcAttr []float64, emit template.Emit) {
+func (p *PageRank) MSGGen(ctx *template.Context, src, dst graph.VertexID, w float64, srcAttr []float64, emit template.Emit) {
+	var msg [1]float64
+	if p.MSGGenInto(ctx, src, dst, w, srcAttr, msg[:]) {
+		emit(dst, msg[:])
+	}
+}
+
+// MSGGenInto implements template.InlineGen: one rank contribution per
+// edge, no allocation.
+func (p *PageRank) MSGGenInto(ctx *template.Context, src, _ graph.VertexID, _ float64, srcAttr, msg []float64) bool {
 	deg := ctx.OutDeg(src)
 	if deg == 0 {
-		return
+		return false
 	}
-	emit(dst, []float64{srcAttr[0] / float64(deg)})
+	msg[0] = srcAttr[0] / float64(deg)
+	return true
 }
 
 // MergeIdentity implements template.Algorithm.

@@ -4,10 +4,14 @@
 // time accounting split into named buckets (the Fig 14 "middleware cost
 // ratio" is computed from these buckets).
 //
-// The simulation is sequential and deterministic: engines iterate nodes
-// in order, charging each node's clock; communication primitives advance
-// the clocks of all participants consistently. Determinism is what makes
-// every figure exactly reproducible.
+// The simulation is deterministic: per-node work charges that node's
+// clock, and communication primitives advance the clocks of all
+// participants consistently. Node and its accounting buckets are NOT
+// thread-safe — engines may fan per-node work out across host workers
+// only because each worker charges exclusively its own node's clock
+// (see internal/engine/parallel.go); any cross-node Charge must happen
+// from a single goroutine, as the communication primitives do.
+// Determinism is what makes every figure exactly reproducible.
 package cluster
 
 import (

@@ -1,0 +1,81 @@
+package engine_test
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"gxplug/internal/algos"
+	"gxplug/internal/engine"
+	"gxplug/internal/engine/graphx"
+	"gxplug/internal/engine/powergraph"
+	"gxplug/internal/gen"
+	"gxplug/internal/gxplug"
+	"gxplug/internal/gxplug/template"
+)
+
+// The superstep phases fan out across a worker pool; this suite guards
+// against reduction-order races by demanding bit-identical results and
+// identical simulated times (a) across repeated parallel runs and (b)
+// between parallel and strictly sequential execution. GOMAXPROCS is
+// forced above the node count so the fan-out really runs concurrently
+// even on small CI machines.
+func TestParallelSuperstepDeterminism(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATConfig{
+		NumVertices: 1500, NumEdges: 10000, A: 0.57, B: 0.19, C: 0.19, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := algos.DefaultSources(g.NumVertices())
+	cases := []struct {
+		name string
+		run  func(engine.Config) (*engine.Result, error)
+		alg  func() template.Algorithm
+		plug []gxplug.Options
+	}{
+		{"GraphX/PageRank/native", graphx.Run, func() template.Algorithm { return algos.NewPageRank() }, nil},
+		{"GraphX/SSSP/plugged", graphx.Run, func() template.Algorithm { return algos.NewSSSPBF(srcs) }, cpuPlug()},
+		{"PowerGraph/SSSP/native", powergraph.Run, func() template.Algorithm { return algos.NewSSSPBF(srcs) }, nil},
+		{"PowerGraph/PageRank/plugged", powergraph.Run, func() template.Algorithm { return algos.NewPageRank() }, cpuPlug()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			once := func(procs int) *engine.Result {
+				old := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(old)
+				res, err := tc.run(engine.Config{Nodes: 8, Graph: g, Alg: tc.alg(), Plug: tc.plug})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a := once(8)
+			b := once(8)
+			seq := once(1)
+			for name, other := range map[string]*engine.Result{"repeat-parallel": b, "sequential": seq} {
+				if a.Time != other.Time {
+					t.Fatalf("%s: simulated makespan differs: %v vs %v", name, a.Time, other.Time)
+				}
+				if a.Iterations != other.Iterations || a.SkippedSyncs != other.SkippedSyncs {
+					t.Fatalf("%s: iteration accounting differs", name)
+				}
+				if a.UpperTime != other.UpperTime || a.MiddlewareTime != other.MiddlewareTime {
+					t.Fatalf("%s: cost split differs: upper %v/%v middleware %v/%v",
+						name, a.UpperTime, other.UpperTime, a.MiddlewareTime, other.MiddlewareTime)
+				}
+				for i := range a.Attrs {
+					if math.Float64bits(a.Attrs[i]) != math.Float64bits(other.Attrs[i]) {
+						t.Fatalf("%s: attrs[%d] = %v vs %v (not bit-identical)", name, i, a.Attrs[i], other.Attrs[i])
+					}
+				}
+				for j, nd := range a.Cluster.Nodes() {
+					if nd.Clock.Now() != other.Cluster.Node(j).Clock.Now() {
+						t.Fatalf("%s: node %d clock differs: %v vs %v",
+							name, j, nd.Clock.Now(), other.Cluster.Node(j).Clock.Now())
+					}
+				}
+			}
+		})
+	}
+}

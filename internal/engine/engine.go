@@ -109,6 +109,15 @@ const bucketUpper = "upper"
 // are bit-compatible with the algorithm's sequential reference up to
 // floating-point merge order.
 func Run(cfg Config) (*Result, error) {
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.run()
+}
+
+// newRunner validates the configuration and builds an idle runner.
+func newRunner(cfg Config) (*runner, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("engine: %d nodes", cfg.Nodes)
 	}
@@ -138,7 +147,7 @@ func Run(cfg Config) (*Result, error) {
 		aw: alg.AttrWidth(),
 		mw: alg.MsgWidth(),
 	}
-	return r.run()
+	return r, nil
 }
 
 type runner struct {
@@ -156,6 +165,33 @@ type runner struct {
 	agents  []*gxplug.Agent
 	uppers  []*upperSystem
 	mirrors map[graph.VertexID][]int // vertex -> nodes referencing it as a source besides its owner
+
+	// masterRow[v] is v's dense index within its owner's master list —
+	// the precomputed id→row index that makes message routing a pair of
+	// array lookups instead of per-node map lookups.
+	masterRow []int32
+	activeFn  func(graph.VertexID) bool
+
+	// Reusable per-superstep buffers. Inboxes are double-buffered because
+	// GAS carries one superstep's inbox into the next round while a new
+	// one is being filled.
+	inboxSets [2][]*gxplug.Inbox
+	inboxFlip int
+	volBuf    [][]int64
+
+	// Native-executor scratch, per node: double-buffered GenResults (the
+	// GAS carry again) and apply-phase flag buffers.
+	nativeRes  [][2]*gxplug.GenResult
+	nativeFlip int
+	natChanged [][]bool
+	natWrote   [][]bool
+	natBefore  [][]float64
+	natMsg     [][]float64
+	inlineGen  template.InlineGen // non-nil when alg supports the fast path
+
+	// Per-node reduction scratch for the parallel merge/apply phase.
+	changedPer []bool
+	mirrorPer  [][]graph.VertexID
 
 	skipped int
 }
@@ -212,33 +248,8 @@ func (r *runner) plugFor(node int) (gxplug.Options, bool) {
 }
 
 func (r *runner) run() (*Result, error) {
-	if len(r.cfg.Plug) > 1 && len(r.cfg.Plug) != r.cfg.Nodes {
-		return nil, fmt.Errorf("engine: %d plug configs for %d nodes", len(r.cfg.Plug), r.cfg.Nodes)
-	}
-	// Initialize authoritative state.
-	n := r.g.NumVertices()
-	r.attrs = make([]float64, n*r.aw)
-	for v := 0; v < n; v++ {
-		r.alg.Init(r.ctx, graph.VertexID(v), r.attrs[v*r.aw:(v+1)*r.aw])
-	}
-	r.active = template.InitialFrontier(r.alg, n)
-	r.buildMirrors()
-
-	// Stand up agents if the middleware is plugged in.
-	if len(r.cfg.Plug) > 0 {
-		r.agents = make([]*gxplug.Agent, r.cfg.Nodes)
-		r.uppers = make([]*upperSystem, r.cfg.Nodes)
-		for j := 0; j < r.cfg.Nodes; j++ {
-			opts, _ := r.plugFor(j)
-			r.uppers[j] = &upperSystem{r: r, node: j}
-			r.agents[j] = gxplug.NewAgent(r.cl.Node(j), r.part.Parts[j], r.alg, r.ctx, r.uppers[j], opts)
-			if err := r.agents[j].Connect(); err != nil {
-				for k := 0; k < j; k++ {
-					r.agents[k].Disconnect()
-				}
-				return nil, err
-			}
-		}
+	if err := r.setup(); err != nil {
+		return nil, err
 	}
 
 	iterations, err := r.loop()
@@ -265,6 +276,64 @@ func (r *runner) run() (*Result, error) {
 		res.UpperTime += nd.Bucket(bucketUpper)
 	}
 	return res, nil
+}
+
+// setup initializes authoritative state, routing indexes, reusable
+// buffers, and (when plugged) the per-node agents.
+func (r *runner) setup() error {
+	if len(r.cfg.Plug) > 1 && len(r.cfg.Plug) != r.cfg.Nodes {
+		return fmt.Errorf("engine: %d plug configs for %d nodes", len(r.cfg.Plug), r.cfg.Nodes)
+	}
+	// Initialize authoritative state.
+	n := r.g.NumVertices()
+	r.attrs = make([]float64, n*r.aw)
+	for v := 0; v < n; v++ {
+		r.alg.Init(r.ctx, graph.VertexID(v), r.attrs[v*r.aw:(v+1)*r.aw])
+	}
+	r.active = template.InitialFrontier(r.alg, n)
+	r.activeFn = func(v graph.VertexID) bool { return r.active[v] }
+	r.buildMirrors()
+	r.masterRow = make([]int32, n)
+	for _, part := range r.part.Parts {
+		for mi, v := range part.Masters {
+			r.masterRow[v] = int32(mi)
+		}
+	}
+	m := r.cfg.Nodes
+	r.volBuf = zeroVol(m)
+	r.nativeRes = make([][2]*gxplug.GenResult, m)
+	r.natChanged = make([][]bool, m)
+	r.natWrote = make([][]bool, m)
+	r.natBefore = make([][]float64, m)
+	r.changedPer = make([]bool, m)
+	r.mirrorPer = make([][]graph.VertexID, m)
+	r.natMsg = make([][]float64, m)
+	for j := 0; j < m; j++ {
+		nM := len(r.part.Parts[j].Masters)
+		r.natChanged[j] = make([]bool, nM)
+		r.natWrote[j] = make([]bool, nM)
+		r.natBefore[j] = make([]float64, r.aw)
+		r.natMsg[j] = make([]float64, r.mw)
+	}
+	r.inlineGen, _ = r.alg.(template.InlineGen)
+
+	// Stand up agents if the middleware is plugged in.
+	if len(r.cfg.Plug) > 0 {
+		r.agents = make([]*gxplug.Agent, r.cfg.Nodes)
+		r.uppers = make([]*upperSystem, r.cfg.Nodes)
+		for j := 0; j < r.cfg.Nodes; j++ {
+			opts, _ := r.plugFor(j)
+			r.uppers[j] = &upperSystem{r: r, node: j}
+			r.agents[j] = gxplug.NewAgent(r.cl.Node(j), r.part.Parts[j], r.alg, r.ctx, r.uppers[j], opts)
+			if err := r.agents[j].Connect(); err != nil {
+				for k := 0; k < j; k++ {
+					r.agents[k].Disconnect()
+				}
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // buildMirrors records, for every vertex, the non-owner nodes whose
@@ -352,10 +421,32 @@ func (r *runner) loop() (int, error) {
 	return iter, nil
 }
 
-func (r *runner) emptyInbox() []map[graph.VertexID][]float64 {
-	in := make([]map[graph.VertexID][]float64, r.cfg.Nodes)
-	for j := range in {
-		in[j] = make(map[graph.VertexID][]float64)
+// nextInbox hands out the next reusable dense inbox set (one Inbox per
+// node, rows over that node's masters). Two sets alternate so a GAS
+// scatter carry survives while the next round's inbox is filled.
+func (r *runner) nextInbox() []*gxplug.Inbox {
+	set := r.inboxSets[r.inboxFlip]
+	if set == nil {
+		set = make([]*gxplug.Inbox, r.cfg.Nodes)
+		for j := range set {
+			set[j] = gxplug.NewInbox(r.alg, len(r.part.Parts[j].Masters), r.mw)
+		}
+		r.inboxSets[r.inboxFlip] = set
+	} else {
+		for _, in := range set {
+			in.Reset(r.alg)
+		}
 	}
-	return in
+	r.inboxFlip ^= 1
+	return set
+}
+
+// resetVol zeroes and returns the reusable exchange-volume matrix.
+func (r *runner) resetVol() [][]int64 {
+	for _, row := range r.volBuf {
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	return r.volBuf
 }

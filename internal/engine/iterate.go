@@ -13,86 +13,110 @@ import (
 // scatter's messages carried into the next round — and in synchronization
 // pattern (messages for edge-cuts; gathered partials plus master→mirror
 // attribute broadcast for vertex-cuts).
+//
+// Both phases fan node work out over a host worker pool (parallel.go).
+// Nodes touch disjoint state — their own masters' attribute rows, their
+// own frontier entries, their own clocks — so the fan-out is race-free,
+// and every cost is charged to the owning node's virtual clock exactly as
+// in sequential execution: wall-clock parallelism never changes simulated
+// makespans.
 
 // genPhase runs MSGGen(+combine) on every node, via agents or natively.
+// The result slice is freshly allocated because GAS keeps it alive as the
+// scatter carry; the results themselves are reused buffers.
 func (r *runner) genPhase() ([]*gxplug.GenResult, error) {
 	out := make([]*gxplug.GenResult, r.cfg.Nodes)
-	for j := 0; j < r.cfg.Nodes; j++ {
+	if r.agents == nil {
+		r.nativeFlip ^= 1
+	}
+	err := parallelNodes(r.cfg.Nodes, func(j int) error {
 		if r.agents != nil {
-			res, err := r.agents[j].RequestGen(func(id graph.VertexID) bool { return r.active[id] })
+			res, err := r.agents[j].RequestGen(r.activeFn)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			out[j] = res
-			continue
+			return nil
 		}
 		out[j] = r.nativeGen(j)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// routeRemote converts per-node outboxes into per-node inboxes, merging
-// messages from different senders, and returns the pairwise byte volumes.
-func (r *runner) routeRemote(results []*gxplug.GenResult) ([]map[graph.VertexID][]float64, [][]int64) {
-	inbox := r.emptyInbox()
-	vol := make([][]int64, r.cfg.Nodes)
-	for j := range vol {
-		vol[j] = make([]int64, r.cfg.Nodes)
-	}
+// routeRemote folds per-node outboxes into the per-node dense inboxes,
+// merging messages from different senders, and accumulates the pairwise
+// byte volumes into vol. Senders are visited in node order and each
+// sender's messages in its deterministic outbox order, so merge order —
+// and therefore floating-point results — is machine-independent.
+func (r *runner) routeRemote(results []*gxplug.GenResult, inbox []*gxplug.Inbox, vol [][]int64) {
 	msgBytes := int64(float64(8*r.mw+4) * r.cfg.Spec.MsgByteFactor)
+	owner := r.part.Owner
 	for j, res := range results {
 		if res == nil {
 			continue
 		}
-		for id, msg := range res.Remote {
-			o := int(r.part.Owner[id])
-			acc, ok := inbox[o][id]
-			if !ok {
-				acc = make([]float64, r.mw)
-				r.alg.MergeIdentity(acc)
-				inbox[o][id] = acc
-			}
-			r.alg.MSGMerge(acc, msg)
-			vol[j][o] += msgBytes
-		}
+		volJ := vol[j]
+		res.Remote.Each(func(id graph.VertexID, msg []float64) {
+			o := int(owner[id])
+			inbox[o].Merge(r.alg, r.masterRow[id], msg)
+			volJ[o] += msgBytes
+		})
 	}
-	return inbox, vol
 }
 
-// mergeApplyPhase merges inboxes and applies on every node, updating the
-// frontier. It returns whether anything changed and the changed vertices
-// that have mirrors (forcing attribute synchronization under vertex-cut).
-func (r *runner) mergeApplyPhase(results []*gxplug.GenResult, inbox []map[graph.VertexID][]float64) (changedAny bool, mirrorUpdates map[graph.VertexID]bool, err error) {
-	mirrorUpdates = make(map[graph.VertexID]bool)
-	for j := 0; j < r.cfg.Nodes; j++ {
+// mergeApplyPhase merges inboxes and applies on every node in parallel,
+// updating the frontier. It returns whether anything changed and the
+// changed vertices that have mirrors (forcing attribute synchronization
+// under vertex-cut), ordered by owning node then master order — a
+// deterministic order, unlike the map the routing layer used to build.
+func (r *runner) mergeApplyPhase(results []*gxplug.GenResult, inbox []*gxplug.Inbox) (changedAny bool, mirrorUpdates []graph.VertexID, err error) {
+	err = parallelNodes(r.cfg.Nodes, func(j int) error {
 		masters := r.part.Parts[j].Masters
 		var changed, wrote []bool
 		if r.agents != nil {
 			if err := r.agents[j].RequestMerge(results[j], inbox[j]); err != nil {
-				return false, nil, err
+				return err
 			}
 			ar, err := r.agents[j].RequestApply(results[j])
 			if err != nil {
-				return false, nil, err
+				return err
 			}
 			changed, wrote = ar.Changed, ar.Wrote
 		} else {
 			r.nativeMerge(j, results[j], inbox[j])
 			changed, wrote = r.nativeApply(j, results[j])
 		}
+		nodeChanged := false
+		mirrored := r.mirrorPer[j][:0]
 		for mi, ch := range changed {
 			id := masters[mi]
 			r.active[id] = ch
 			if ch {
-				changedAny = true
+				nodeChanged = true
 			}
 			// Any written row must reach its replicas, including
 			// sub-threshold drift (PageRank keeps converging mass without
 			// reactivating vertices).
 			if wrote[mi] && len(r.mirrors[id]) > 0 {
-				mirrorUpdates[id] = true
+				mirrored = append(mirrored, id)
 			}
 		}
+		r.changedPer[j] = nodeChanged
+		r.mirrorPer[j] = mirrored
+		return nil
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	for j := 0; j < r.cfg.Nodes; j++ {
+		if r.changedPer[j] {
+			changedAny = true
+		}
+		mirrorUpdates = append(mirrorUpdates, r.mirrorPer[j]...)
 	}
 	return changedAny, mirrorUpdates, nil
 }
@@ -101,13 +125,13 @@ func (r *runner) mergeApplyPhase(results []*gxplug.GenResult, inbox []map[graph.
 // holder (vertex-cut only): exchange volumes are added to vol and agent
 // caches are invalidated with the fresh rows. It must run before the next
 // MSGGen so mirror reads see current state.
-func (r *runner) distributeMirrors(mirrorUpdates map[graph.VertexID]bool, vol [][]int64) {
+func (r *runner) distributeMirrors(mirrorUpdates []graph.VertexID, vol [][]int64) {
 	if len(mirrorUpdates) == 0 {
 		return
 	}
 	rowBytes := int64(float64(8*r.aw+4) * r.cfg.Spec.MsgByteFactor)
 	perNode := make([][]graph.VertexID, r.cfg.Nodes)
-	for id := range mirrorUpdates {
+	for _, id := range mirrorUpdates {
 		owner := int(r.part.Owner[id])
 		for _, j := range r.mirrors[id] {
 			vol[owner][j] += rowBytes
@@ -122,9 +146,7 @@ func (r *runner) distributeMirrors(mirrorUpdates map[graph.VertexID]bool, vol []
 	// exactly the moment these vertices become "involved in the
 	// computation of other distributed nodes" (§III-B2b).
 	q := synccache.NewQueryQueue()
-	for id := range mirrorUpdates {
-		q.Push([]graph.VertexID{id})
-	}
+	q.Push(mirrorUpdates)
 	for _, a := range r.agents {
 		a.UploadQueried(q)
 	}
@@ -214,7 +236,9 @@ func (r *runner) iterateBSP() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	inbox, vol := r.routeRemote(results)
+	inbox := r.nextInbox()
+	vol := r.resetVol()
+	r.routeRemote(results, inbox, vol)
 	changedAny, mirrorUpdates, err := r.mergeApplyPhase(results, inbox)
 	if err != nil {
 		return false, err
@@ -228,7 +252,7 @@ func (r *runner) iterateBSP() (bool, error) {
 // the per-node Gen results (local accumulators) plus the routed inbox.
 type gasCarry struct {
 	results []*gxplug.GenResult
-	inbox   []map[graph.VertexID][]float64
+	inbox   []*gxplug.Inbox
 }
 
 // iterateGAS is one GAS round in PowerGraph order — Merge (gather) →
@@ -237,15 +261,15 @@ type gasCarry struct {
 // state during the first gather. Scatter exchange volumes are charged in
 // the round that produces them.
 func (r *runner) iterateGAS(carry *gasCarry) (bool, *gasCarry, error) {
-	vol := zeroVol(r.cfg.Nodes)
+	vol := r.resetVol()
 	if carry == nil {
 		results, err := r.genPhase()
 		if err != nil {
 			return false, nil, err
 		}
-		inbox, bootVol := r.routeRemote(results)
+		inbox := r.nextInbox()
+		r.routeRemote(results, inbox, vol)
 		carry = &gasCarry{results: results, inbox: inbox}
-		addVol(vol, bootVol)
 	}
 	changedAny, mirrorUpdates, err := r.mergeApplyPhase(carry.results, carry.inbox)
 	if err != nil {
@@ -259,20 +283,12 @@ func (r *runner) iterateGAS(carry *gasCarry) (bool, *gasCarry, error) {
 		if err != nil {
 			return false, nil, err
 		}
-		inbox, nvol := r.routeRemote(results)
+		inbox := r.nextInbox()
+		r.routeRemote(results, inbox, vol)
 		next = &gasCarry{results: results, inbox: inbox}
-		addVol(vol, nvol)
 	}
 	r.syncPhase(vol)
 	return changedAny, next, nil
-}
-
-func addVol(dst, src [][]int64) {
-	for i := range dst {
-		for j := range dst[i] {
-			dst[i][j] += src[i][j]
-		}
-	}
 }
 
 func zeroVol(m int) [][]int64 {
@@ -285,24 +301,41 @@ func zeroVol(m int) [][]int64 {
 
 // --- native executor -------------------------------------------------
 
+// nextNativeResult hands out node j's reusable GenResult for this phase
+// (double-buffered; genPhase flips once per phase so the GAS carry stays
+// intact while the next round's results are produced).
+func (r *runner) nextNativeResult(j int) *gxplug.GenResult {
+	res := r.nativeRes[j][r.nativeFlip]
+	if res == nil {
+		res = gxplug.NewGenResult(r.alg, len(r.part.Parts[j].Masters), r.g.NumVertices(), r.mw)
+		r.nativeRes[j][r.nativeFlip] = res
+	} else {
+		res.Reset(r.alg)
+	}
+	return res
+}
+
 // nativeGen runs MSGGen+combine for one node on the engine's built-in
-// executor, charging upper-bucket compute time.
+// executor, charging upper-bucket compute time. Local messages merge
+// straight into the dense master accumulator; remote messages into the
+// dense outbox — both via the precomputed id→row index, with no per-edge
+// map traffic.
 func (r *runner) nativeGen(j int) *gxplug.GenResult {
 	part := r.part.Parts[j]
 	mw := r.mw
-	res := &gxplug.GenResult{
-		LocalAcc:  make([]float64, len(part.Masters)*mw),
-		LocalRecv: make([]bool, len(part.Masters)),
-		Remote:    make(map[graph.VertexID][]float64),
-	}
-	masterIdx := make(map[graph.VertexID]int, len(part.Masters))
-	for i, v := range part.Masters {
-		masterIdx[v] = i
-	}
-	for i := range part.Masters {
-		r.alg.MergeIdentity(res.LocalAcc[i*mw : (i+1)*mw])
-	}
+	res := r.nextNativeResult(j)
 	genAll := r.alg.Hints().GenAll
+	owner := r.part.Owner
+	deliver := func(dst graph.VertexID, msg []float64) {
+		if int(owner[dst]) == j {
+			mi := int(r.masterRow[dst])
+			r.alg.MSGMerge(res.LocalAcc[mi*mw:(mi+1)*mw], msg)
+			res.LocalRecv[mi] = true
+			return
+		}
+		res.Remote.Add(r.alg, dst, msg)
+	}
+	msgBuf := r.natMsg[j]
 	edges := 0
 	for _, e := range part.Edges {
 		if !genAll && !r.active[e.Src] {
@@ -310,22 +343,14 @@ func (r *runner) nativeGen(j int) *gxplug.GenResult {
 		}
 		edges++
 		src := e.Src
-		r.alg.MSGGen(r.ctx, src, e.Dst, e.Weight,
-			r.attrs[int(src)*r.aw:(int(src)+1)*r.aw],
-			func(dst graph.VertexID, msg []float64) {
-				if mi, ok := masterIdx[dst]; ok {
-					r.alg.MSGMerge(res.LocalAcc[mi*mw:(mi+1)*mw], msg)
-					res.LocalRecv[mi] = true
-					return
-				}
-				acc, ok := res.Remote[dst]
-				if !ok {
-					acc = make([]float64, mw)
-					r.alg.MergeIdentity(acc)
-					res.Remote[dst] = acc
-				}
-				r.alg.MSGMerge(acc, msg)
-			})
+		srcAttr := r.attrs[int(src)*r.aw : (int(src)+1)*r.aw]
+		if r.inlineGen != nil {
+			if r.inlineGen.MSGGenInto(r.ctx, src, e.Dst, e.Weight, srcAttr, msgBuf) {
+				deliver(e.Dst, msgBuf)
+			}
+			continue
+		}
+		r.alg.MSGGen(r.ctx, src, e.Dst, e.Weight, srcAttr, deliver)
 	}
 	res.Entities = edges
 	cost := simtime.TimeFor(float64(edges)*r.alg.Hints().OpsPerEdge, r.cfg.Spec.NativeRate)
@@ -333,34 +358,32 @@ func (r *runner) nativeGen(j int) *gxplug.GenResult {
 	return res
 }
 
-// nativeMerge folds an inbox into the node's local accumulator.
-func (r *runner) nativeMerge(j int, res *gxplug.GenResult, inbox map[graph.VertexID][]float64) {
-	if len(inbox) == 0 {
+// nativeMerge folds a dense inbox into the node's local accumulator.
+func (r *runner) nativeMerge(j int, res *gxplug.GenResult, inbox *gxplug.Inbox) {
+	if inbox == nil || inbox.Len() == 0 {
 		return
 	}
-	part := r.part.Parts[j]
-	masterIdx := make(map[graph.VertexID]int, len(part.Masters))
-	for i, v := range part.Masters {
-		masterIdx[v] = i
-	}
 	mw := r.mw
-	for id, msg := range inbox {
-		mi := masterIdx[id]
-		r.alg.MSGMerge(res.LocalAcc[mi*mw:(mi+1)*mw], msg)
+	for _, mi := range inbox.Touched() {
+		r.alg.MSGMerge(res.LocalAcc[int(mi)*mw:(int(mi)+1)*mw], inbox.Row(mi))
 		res.LocalRecv[mi] = true
 	}
-	cost := simtime.TimeFor(float64(len(inbox))*float64(mw), r.cfg.Spec.NativeRate)
+	cost := simtime.TimeFor(float64(inbox.Len())*float64(mw), r.cfg.Spec.NativeRate)
 	r.cl.Node(j).Charge(bucketUpper, cost)
 }
 
 // nativeApply applies merged messages to the node's masters, returning
-// the activity flags and the bitwise-written flags.
+// the activity flags and the bitwise-written flags (both aliasing
+// per-node runner scratch, valid until the node's next apply).
 func (r *runner) nativeApply(j int, res *gxplug.GenResult) (changed, wrote []bool) {
 	part := r.part.Parts[j]
 	applyAll := r.alg.Hints().ApplyAll
-	changed = make([]bool, len(part.Masters))
-	wrote = make([]bool, len(part.Masters))
-	before := make([]float64, r.aw)
+	changed = r.natChanged[j]
+	wrote = r.natWrote[j]
+	before := r.natBefore[j]
+	for mi := range changed {
+		changed[mi], wrote[mi] = false, false
+	}
 	applied := 0
 	for mi, id := range part.Masters {
 		if !applyAll && !res.LocalRecv[mi] {

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelNodes runs fn(j) for every node j in [0, n) across a bounded
+// worker pool (at most GOMAXPROCS goroutines). Node work must touch only
+// node-disjoint state; per-node costs land on per-node virtual clocks, so
+// the schedule cannot influence simulated time. Errors are collected per
+// node and the lowest-index error is returned, keeping failure reporting
+// deterministic regardless of scheduling. With a single worker the loop
+// degenerates to plain sequential execution.
+func parallelNodes(n int, fn func(j int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for j := 0; j < n; j++ {
+			if err := fn(j); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1))
+				if j >= n {
+					return
+				}
+				errs[j] = fn(j)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -113,16 +113,48 @@ type Stats struct {
 
 // GenResult is the outcome of one RequestGen: merged local messages for
 // this node's masters plus an outbox of messages for remote masters.
+// Results are reused across supersteps (NewGenResult + Reset), so the
+// routing hot path allocates nothing after warm-up.
 type GenResult struct {
 	// LocalAcc is dense over part.Masters (len = len(Masters)*MsgWidth).
 	LocalAcc []float64
 	// LocalRecv marks masters that received at least one message.
 	LocalRecv []bool
 	// Remote holds merged messages destined to vertices mastered on other
-	// nodes.
-	Remote map[graph.VertexID][]float64
+	// nodes, dense over the global id range.
+	Remote *Outbox
 	// Entities is the number of triplets processed this iteration.
 	Entities int
+
+	mw int
+}
+
+// NewGenResult allocates a reusable result for a node with the given
+// master count over a graph of numV vertices.
+func NewGenResult(alg template.Algorithm, masters, numV, mw int) *GenResult {
+	res := &GenResult{
+		LocalAcc:  make([]float64, masters*mw),
+		LocalRecv: make([]bool, masters),
+		Remote:    NewOutbox(alg, numV, mw),
+		mw:        mw,
+	}
+	for i := 0; i < masters; i++ {
+		alg.MergeIdentity(res.LocalAcc[i*mw : (i+1)*mw])
+	}
+	return res
+}
+
+// Reset prepares the result for the next superstep, re-identifying only
+// the master rows that received messages.
+func (res *GenResult) Reset(alg template.Algorithm) {
+	for mi, r := range res.LocalRecv {
+		if r {
+			alg.MergeIdentity(res.LocalAcc[mi*res.mw : (mi+1)*res.mw])
+			res.LocalRecv[mi] = false
+		}
+	}
+	res.Remote.Reset(alg)
+	res.Entities = 0
 }
 
 // Agent is the per-node middleware endpoint.
@@ -137,8 +169,8 @@ type Agent struct {
 	vt        *graph.VertexTable
 	et        *graph.EdgeTable
 	mt        *graph.MappingTable
-	masterRow []int // dense master index -> vertex table row
-	isMaster  map[graph.VertexID]int
+	masterRow []int   // dense master index -> vertex table row
+	ownedRow  []int32 // global vertex id -> master index here, -1 otherwise
 
 	daemons []*daemonProc
 	devices []*device.Device
@@ -149,12 +181,44 @@ type Agent struct {
 	fresh []bool
 
 	// prevRows and prevBlockEdges remember the previous iteration's block
-	// plan for topology-residency detection.
+	// plan for topology-residency detection; prevBlocks caches the built
+	// block plans for that row set so a stable frontier re-encodes nothing.
 	prevRows       []int
 	prevBlockEdges int
+	prevBlocks     []blockPlan
+
+	// Reusable per-superstep scratch. Results are double-buffered because
+	// GAS engines keep the previous superstep's result live (the scatter
+	// carry) while the next one is produced.
+	resBufs  [2]*GenResult
+	resFlip  int
+	rowsBuf  []int
+	fillRows []int
+	drainAcc []float64
+	drainRcv []bool
+	missIDs  []graph.VertexID
+	missRows []int
+	fetchBuf []float64
+	apply    applyScratch
 
 	stats     Stats
 	connected bool
+}
+
+// applyScratch holds RequestApply's per-superstep buffers, reused across
+// iterations.
+type applyScratch struct {
+	sel         []int
+	ids         []graph.VertexID
+	rows        []int
+	attrs       []float64
+	msgs        []float64
+	recv        []bool
+	changed     []bool
+	wrote       []bool
+	spanChanged []bool
+	pushIDs     []graph.VertexID
+	pushRows    []float64
 }
 
 // ErrNotConnected reports use of an agent before Connect.
@@ -174,19 +238,47 @@ func NewAgent(node *cluster.Node, part *graph.Partition, alg template.Algorithm,
 	a := &Agent{
 		node: node, part: part, alg: alg, ctx: ctx, upper: upper, opts: opts,
 		vt: vt, et: et, mt: mt,
-		isMaster: make(map[graph.VertexID]int, len(part.Masters)),
-		fresh:    make([]bool, vt.Len()),
+		fresh: make([]bool, vt.Len()),
 	}
 	a.masterRow = make([]int, len(part.Masters))
+	a.ownedRow = make([]int32, ctx.NumVertices)
+	for i := range a.ownedRow {
+		a.ownedRow[i] = -1
+	}
 	for i, v := range part.Masters {
 		row, ok := vt.Lookup(v)
 		if !ok {
 			panic(fmt.Sprintf("gxplug: master %d missing from vertex table", v))
 		}
 		a.masterRow[i] = row
-		a.isMaster[v] = i
+		if int(v) < len(a.ownedRow) {
+			a.ownedRow[v] = int32(i)
+		}
 	}
 	return a
+}
+
+// masterIdxOf returns the dense master index of id on this node, or -1.
+func (a *Agent) masterIdxOf(id graph.VertexID) int32 {
+	if int(id) >= len(a.ownedRow) {
+		return -1
+	}
+	return a.ownedRow[id]
+}
+
+// nextResult hands out the next reusable GenResult. Two buffers alternate
+// so the previous superstep's result (a GAS scatter carry) stays intact
+// while the next one is filled.
+func (a *Agent) nextResult() *GenResult {
+	res := a.resBufs[a.resFlip]
+	if res == nil {
+		res = NewGenResult(a.alg, len(a.part.Masters), a.ctx.NumVertices, a.alg.MsgWidth())
+		a.resBufs[a.resFlip] = res
+	} else {
+		res.Reset(a.alg)
+	}
+	a.resFlip ^= 1
+	return res
 }
 
 // Stats returns a snapshot of the agent's counters.
@@ -336,8 +428,8 @@ func (a *Agent) cachePut(id graph.VertexID, row []float64) time.Duration {
 // free and misses batch-fetch; without, any non-fresh row is fetched.
 func (a *Agent) ensureRows(rows []int) time.Duration {
 	var cost time.Duration
-	var missIDs []graph.VertexID
-	var missRows []int
+	missIDs := a.missIDs[:0]
+	missRows := a.missRows[:0]
 	for _, r := range rows {
 		id := a.vt.ID(r)
 		if a.cache != nil {
@@ -352,10 +444,11 @@ func (a *Agent) ensureRows(rows []int) time.Duration {
 		missIDs = append(missIDs, id)
 		missRows = append(missRows, r)
 	}
+	a.missIDs, a.missRows = missIDs, missRows
 	if len(missIDs) == 0 {
 		return 0
 	}
-	buf := make([]float64, len(missIDs)*a.alg.AttrWidth())
+	buf := grow(&a.fetchBuf, len(missIDs)*a.alg.AttrWidth())
 	c := a.upper.FetchAttrs(missIDs, buf)
 	a.stats.BoundaryTime += c
 	cost += c
@@ -368,6 +461,16 @@ func (a *Agent) ensureRows(rows []int) time.Duration {
 		}
 	}
 	return cost
+}
+
+// grow resizes *buf to n elements, reallocating only on growth, and
+// returns the sized slice. The contents are NOT cleared on reuse.
+func grow[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // InvalidateRemote tells the agent that the given vertices were updated

@@ -38,19 +38,11 @@ func (a *Agent) RequestGen(active func(graph.VertexID) bool) (*GenResult, error)
 			a.fresh[i] = false
 		}
 	}
-	mw := a.alg.MsgWidth()
-	res := &GenResult{
-		LocalAcc:  make([]float64, len(a.part.Masters)*mw),
-		LocalRecv: make([]bool, len(a.part.Masters)),
-		Remote:    make(map[graph.VertexID][]float64),
-	}
-	for i := range a.part.Masters {
-		a.alg.MergeIdentity(res.LocalAcc[i*mw : (i+1)*mw])
-	}
+	res := a.nextResult()
 
 	genAll := a.alg.Hints().GenAll
 	// Rows participating this iteration and the edge count d.
-	var rows []int
+	rows := a.rowsBuf[:0]
 	d := 0
 	for r := 0; r < a.vt.Len(); r++ {
 		s, e := a.mt.EdgeRange(r)
@@ -63,6 +55,7 @@ func (a *Agent) RequestGen(active func(graph.VertexID) bool) (*GenResult, error)
 		rows = append(rows, r)
 		d += e - s
 	}
+	a.rowsBuf = rows
 	res.Entities = d
 	a.stats.Entities += int64(d)
 	if d == 0 {
@@ -70,17 +63,23 @@ func (a *Agent) RequestGen(active func(graph.VertexID) bool) (*GenResult, error)
 	}
 
 	blockEdges := a.chooseBlockSize(d)
-	blocks := a.buildBlocks(rows, blockEdges)
-	a.stats.Blocks += int64(len(blocks))
-	a.stats.LastBlockSize = blockEdges
-	a.stats.LastBlocks = len(blocks)
 
 	// Topology residency: daemons hold the edge blocks across iterations
 	// (§II-B's blocks live in shared memory; only vertex attributes
 	// change value). When this iteration's participating rows and block
 	// size match the previous iteration's, the topology bytes are already
-	// device-resident and only attribute traffic is charged.
+	// device-resident, only attribute traffic is charged, and the cached
+	// block plans are reused as-is — attribute content is refreshed at
+	// download time (fillBlock), never at plan time.
 	reuseTopo := a.sameRowSet(rows, blockEdges)
+	blocks := a.prevBlocks
+	if !reuseTopo || blocks == nil {
+		blocks = a.buildBlocks(rows, blockEdges)
+		a.prevBlocks = blocks
+	}
+	a.stats.Blocks += int64(len(blocks))
+	a.stats.LastBlockSize = blockEdges
+	a.stats.LastBlocks = len(blocks)
 
 	// Split blocks across daemons proportionally to device capacity; the
 	// daemons run in parallel, so the node pays the slowest share.
@@ -361,12 +360,13 @@ func (a *Agent) fillBlock(seg []byte, bp blockPlan, reuseTopo bool) (time.Durati
 	var cost time.Duration
 	// Rows to refresh: every vertex the block references that exists in
 	// our table (sources always do; destinations may be remote).
-	var rows []int
+	rows := a.fillRows[:0]
 	for _, id := range bp.vb.IDs {
 		if r, ok := a.vt.Lookup(id); ok {
 			rows = append(rows, r)
 		}
 	}
+	a.fillRows = rows
 	cost += a.ensureRows(rows)
 	aw := a.alg.AttrWidth()
 	for i, id := range bp.vb.IDs {
@@ -391,7 +391,9 @@ func (a *Agent) fillBlock(seg []byte, bp blockPlan, reuseTopo bool) (time.Durati
 func (a *Agent) drainBlock(seg []byte, bp blockPlan, geo [2]int, res *GenResult, _ *simtime.StageCosts) time.Duration {
 	nV, resultOff := geo[0], geo[1]
 	mw := a.alg.MsgWidth()
-	acc, recv, _ := readGenResult(seg, resultOff, nV, mw)
+	acc := grow(&a.drainAcc, nV*mw)
+	recv := grow(&a.drainRcv, nV)
+	readGenResultInto(seg, resultOff, acc, recv)
 	clearKind(seg)
 
 	var localMsgs, remoteMsgs int
@@ -400,18 +402,12 @@ func (a *Agent) drainBlock(seg []byte, bp blockPlan, geo [2]int, res *GenResult,
 			continue
 		}
 		id := bp.vb.IDs[r]
-		if mi, ok := a.isMaster[id]; ok {
-			a.alg.MSGMerge(res.LocalAcc[mi*mw:(mi+1)*mw], acc[r*mw:(r+1)*mw])
+		if mi := a.masterIdxOf(id); mi >= 0 {
+			a.alg.MSGMerge(res.LocalAcc[int(mi)*mw:(int(mi)+1)*mw], acc[r*mw:(r+1)*mw])
 			res.LocalRecv[mi] = true
 			localMsgs++
 		} else {
-			dst, ok := res.Remote[id]
-			if !ok {
-				dst = make([]float64, mw)
-				a.alg.MergeIdentity(dst)
-				res.Remote[id] = dst
-			}
-			a.alg.MSGMerge(dst, acc[r*mw:(r+1)*mw])
+			res.Remote.Add(a.alg, id, acc[r*mw:(r+1)*mw])
 			remoteMsgs++
 		}
 	}
@@ -442,37 +438,33 @@ func clearKind(seg []byte) {
 }
 
 // RequestMerge folds messages arriving from other nodes into the local
-// accumulator on a daemon (MSGMerge as a device kernel). incoming maps
-// master vertices to merged remote messages.
-func (a *Agent) RequestMerge(res *GenResult, incoming map[graph.VertexID][]float64) error {
+// accumulator on a daemon (MSGMerge as a device kernel). incoming is the
+// dense inbox routed to this node (rows over part.Masters, identity where
+// untouched).
+func (a *Agent) RequestMerge(res *GenResult, incoming *Inbox) error {
 	if !a.connected {
 		return ErrNotConnected
 	}
-	if len(incoming) == 0 {
+	if incoming == nil || incoming.Len() == 0 {
 		return nil
 	}
+	if incoming.Rows() != len(a.part.Masters) {
+		return fmt.Errorf("gxplug: inbox over %d rows for %d masters",
+			incoming.Rows(), len(a.part.Masters))
+	}
 	mw := a.alg.MsgWidth()
+	count := incoming.Len()
 	// Fetch the routed messages across the boundary.
-	fc := a.upper.FetchMessages(len(incoming), int64(len(incoming))*int64(8*mw+4))
+	fc := a.upper.FetchMessages(count, int64(count)*int64(8*mw+4))
 	a.stats.BoundaryTime += fc
 
-	// Dense remote accumulator over masters.
-	remote := make([]float64, len(a.part.Masters)*mw)
-	for i := range a.part.Masters {
-		a.alg.MergeIdentity(remote[i*mw : (i+1)*mw])
-	}
-	for id, msg := range incoming {
-		mi, ok := a.isMaster[id]
-		if !ok {
-			return fmt.Errorf("gxplug: incoming message for non-master %d", id)
-		}
-		copy(remote[mi*mw:(mi+1)*mw], msg)
+	for _, mi := range incoming.Touched() {
 		res.LocalRecv[mi] = true
 	}
 
 	p := a.daemons[0] // merge is cheap; one daemon suffices
 	seg := p.mem[physSeg(roleC, p.rot)]
-	if _, err := encodeMergeBlock(seg, res.LocalAcc, remote, mw); err != nil {
+	if _, err := encodeMergeBlock(seg, res.LocalAcc, incoming.Acc(), mw); err != nil {
 		return err
 	}
 	typ, payload, err := p.request(msgMerge, nil)
@@ -482,8 +474,7 @@ func (a *Agent) RequestMerge(res *GenResult, incoming map[graph.VertexID][]float
 	if typ != msgDone {
 		return fmt.Errorf("gxplug: merge: unexpected reply %d", typ)
 	}
-	merged, _ := readMergeResult(seg, len(a.part.Masters), mw)
-	copy(res.LocalAcc, merged)
+	readMergeResultInto(seg, res.LocalAcc)
 	clearKind(seg)
 
 	dc := decodeCost(payload)
@@ -516,28 +507,34 @@ func (a *Agent) RequestApply(res *GenResult) (*ApplyResult, error) {
 	}
 	applyAll := a.alg.Hints().ApplyAll
 	aw, mw := a.alg.AttrWidth(), a.alg.MsgWidth()
+	sc := &a.apply
 
 	// Select target masters.
-	var sel []int // master indices
+	sel := sc.sel[:0] // master indices
 	for i := range a.part.Masters {
 		if applyAll || res.LocalRecv[i] {
 			sel = append(sel, i)
 		}
 	}
-	out := &ApplyResult{
-		Changed:   make([]bool, len(a.part.Masters)),
-		Wrote:     make([]bool, len(a.part.Masters)),
-		LocalOnly: true,
+	sc.sel = sel
+	nM := len(a.part.Masters)
+	changed := grow(&sc.changed, nM)
+	wrote := grow(&sc.wrote, nM)
+	for i := 0; i < nM; i++ {
+		changed[i], wrote[i] = false, false
 	}
+	// Changed and Wrote alias agent-owned scratch: they are valid until
+	// the next RequestApply on this agent.
+	out := &ApplyResult{Changed: changed, Wrote: wrote, LocalOnly: true}
 	if len(sel) == 0 {
 		return out, nil
 	}
 
-	ids := make([]graph.VertexID, len(sel))
-	rows := make([]int, len(sel))
-	attrs := make([]float64, len(sel)*aw)
-	msgs := make([]float64, len(sel)*mw)
-	recv := make([]bool, len(sel))
+	ids := grow(&sc.ids, len(sel))
+	rows := grow(&sc.rows, len(sel))
+	attrs := grow(&sc.attrs, len(sel)*aw)
+	msgs := grow(&sc.msgs, len(sel)*mw)
+	recv := grow(&sc.recv, len(sel))
 	for i, mi := range sel {
 		ids[i] = a.part.Masters[mi]
 		rows[i] = a.masterRow[mi]
@@ -596,16 +593,16 @@ func (a *Agent) RequestApply(res *GenResult) (*ApplyResult, error) {
 		if typ != msgDone {
 			return nil, fmt.Errorf("gxplug: apply: unexpected reply %d", typ)
 		}
-		newAttrs, changed, _ := readApplyResult(seg, n, aw, mw)
+		spanChanged := grow(&sc.spanChanged, n)
+		readApplyResultInto(seg, n, aw, mw, attrs[sp.lo*aw:sp.hi*aw], spanChanged)
 		clearKind(seg)
-		copy(attrs[sp.lo*aw:sp.hi*aw], newAttrs)
 		dc := decodeCost(payload)
 		a.stats.DeviceTime += dc
 		if dc+2*queueMsgOverhead > worst {
 			worst = dc + 2*queueMsgOverhead
 		}
 		for i := sp.lo; i < sp.hi; i++ {
-			if changed[i-sp.lo] {
+			if spanChanged[i-sp.lo] {
 				out.Changed[sel[i]] = true
 			}
 		}
@@ -616,8 +613,8 @@ func (a *Agent) RequestApply(res *GenResult) (*ApplyResult, error) {
 	// counts as written if any bit moved — MSGApply's boolean only drives
 	// the activity frontier (e.g. PageRank keeps sub-tolerance rank drift
 	// without reactivating the vertex).
-	var pushIDs []graph.VertexID
-	var pushRows []float64
+	pushIDs := sc.pushIDs[:0]
+	pushRows := sc.pushRows[:0]
 	for i, mi := range sel {
 		row := attrs[i*aw : (i+1)*aw]
 		old := a.vt.Row(rows[i])
@@ -648,6 +645,7 @@ func (a *Agent) RequestApply(res *GenResult) (*ApplyResult, error) {
 			pushRows = append(pushRows, row...)
 		}
 	}
+	sc.pushIDs, sc.pushRows = pushIDs, pushRows
 	if len(pushIDs) > 0 {
 		c := a.upper.PushAttrs(pushIDs, pushRows)
 		a.stats.BoundaryTime += c

@@ -107,21 +107,20 @@ func driveAgents(t *testing.T, g *graph.Graph, m int, alg template.Algorithm, op
 			results[j] = res
 		}
 		// Route remote messages to owners, pre-merging across senders.
-		incoming := make([]map[graph.VertexID][]float64, m)
+		masterIdx := make([]int32, g.NumVertices())
+		for _, p := range part.Parts {
+			for mi, v := range p.Masters {
+				masterIdx[v] = int32(mi)
+			}
+		}
+		incoming := make([]*Inbox, m)
 		for j := range incoming {
-			incoming[j] = make(map[graph.VertexID][]float64)
+			incoming[j] = NewInbox(alg, len(part.Parts[j].Masters), mw)
 		}
 		for j := 0; j < m; j++ {
-			for id, msg := range results[j].Remote {
-				o := part.Owner[id]
-				acc, ok := incoming[o][id]
-				if !ok {
-					acc = make([]float64, mw)
-					alg.MergeIdentity(acc)
-					incoming[o][id] = acc
-				}
-				alg.MSGMerge(acc, msg)
-			}
+			results[j].Remote.Each(func(id graph.VertexID, msg []float64) {
+				incoming[part.Owner[id]].Merge(alg, masterIdx[id], msg)
+			})
 		}
 		changedAny := false
 		for j := 0; j < m; j++ {

@@ -192,16 +192,24 @@ func writeGenResult(seg []byte, resultOff int, acc []float64, recv []bool, costN
 // readGenResult extracts the daemon's results; the caller supplies the
 // block geometry it encoded.
 func readGenResult(seg []byte, resultOff, nVerts, msgW int) (acc []float64, recv []bool, costNanos uint64) {
-	c := &cursor{buf: seg, off: resultOff}
 	acc = make([]float64, nVerts*msgW)
+	recv = make([]bool, nVerts)
+	costNanos = readGenResultInto(seg, resultOff, acc, recv)
+	return acc, recv, costNanos
+}
+
+// readGenResultInto is the allocation-free variant: acc and recv supply
+// the geometry (len(acc) = nVerts*msgW, len(recv) = nVerts) and receive
+// the daemon's results.
+func readGenResultInto(seg []byte, resultOff int, acc []float64, recv []bool) (costNanos uint64) {
+	c := &cursor{buf: seg, off: resultOff}
 	for i := range acc {
 		acc[i] = c.rdF64()
 	}
-	recv = make([]bool, nVerts)
 	for i := range recv {
 		recv[i] = c.rdB() != 0
 	}
-	return acc, recv, c.rdU64()
+	return c.rdU64()
 }
 
 // encodeApplyBlock writes an apply batch: vertex rows with their merged
@@ -287,19 +295,26 @@ func writeApplyResult(seg []byte, attrOff int, attrs []float64, resultOff int, c
 // readApplyResult extracts updated attributes and changed flags on the
 // agent side. The layout mirrors encodeApplyBlock.
 func readApplyResult(seg []byte, n, attrW, msgW int) (attrs []float64, changed []bool, costNanos uint64) {
+	attrs = make([]float64, n*attrW)
+	changed = make([]bool, n)
+	costNanos = readApplyResultInto(seg, n, attrW, msgW, attrs, changed)
+	return attrs, changed, costNanos
+}
+
+// readApplyResultInto is the allocation-free variant: attrs (n*attrW) and
+// changed (n) receive the results.
+func readApplyResultInto(seg []byte, n, attrW, msgW int, attrs []float64, changed []bool) (costNanos uint64) {
 	attrOff := 4*4 + n*4
 	c := &cursor{buf: seg, off: attrOff}
-	attrs = make([]float64, n*attrW)
 	for i := range attrs {
 		attrs[i] = c.rdF64()
 	}
 	resultOff := applyBlockSize(n, attrW, msgW) - n - 8
 	c = &cursor{buf: seg, off: resultOff}
-	changed = make([]bool, n)
 	for i := range changed {
 		changed[i] = c.rdB() != 0
 	}
-	return attrs, changed, c.rdU64()
+	return c.rdU64()
 }
 
 // encodeMergeBlock writes two accumulator arrays for a daemon-side merge.
@@ -361,11 +376,18 @@ func writeMergeResult(seg []byte, merged []float64, costNanos uint64) {
 
 // readMergeResult extracts the merged accumulator.
 func readMergeResult(seg []byte, rows, msgW int) (merged []float64, costNanos uint64) {
-	c := &cursor{buf: seg, off: 3 * 4}
 	merged = make([]float64, rows*msgW)
+	costNanos = readMergeResultInto(seg, merged)
+	return merged, costNanos
+}
+
+// readMergeResultInto is the allocation-free variant: merged supplies the
+// geometry (rows*msgW) and receives the accumulator.
+func readMergeResultInto(seg []byte, merged []float64) (costNanos uint64) {
+	c := &cursor{buf: seg, off: 3 * 4}
 	for i := range merged {
 		merged[i] = c.rdF64()
 	}
-	tail := &cursor{buf: seg, off: 3*4 + 2*rows*msgW*8}
-	return merged, tail.rdU64()
+	tail := &cursor{buf: seg, off: 3*4 + 2*len(merged)*8}
+	return tail.rdU64()
 }

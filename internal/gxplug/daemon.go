@@ -219,6 +219,7 @@ func (d *daemonState) computeGen(seg []byte) (time.Duration, error) {
 		nT := len(eb.Triplets)
 		nV := len(vb.IDs)
 
+		inline, _ := alg.(template.InlineGen)
 		nChunks := (nT + genChunk - 1) / genChunk
 		partAcc := make([][]float64, nChunks)
 		partRecv := make([][]bool, nChunks)
@@ -229,6 +230,7 @@ func (d *daemonState) computeGen(seg []byte) (time.Duration, error) {
 				defer wg.Done()
 				acc := make([]float64, nV*msgW)
 				recv := make([]bool, nV)
+				msgBuf := make([]float64, msgW)
 				for r := 0; r < nV; r++ {
 					alg.MergeIdentity(acc[r*msgW : (r+1)*msgW])
 				}
@@ -239,6 +241,13 @@ func (d *daemonState) computeGen(seg []byte) (time.Duration, error) {
 				for i := lo; i < hi; i++ {
 					t := &eb.Triplets[i]
 					row := int(t.DstRow)
+					if inline != nil {
+						if inline.MSGGenInto(ctx, t.Src, t.Dst, t.W, vb.Row(int(t.SrcRow)), msgBuf) {
+							alg.MSGMerge(acc[row*msgW:(row+1)*msgW], msgBuf)
+							recv[row] = true
+						}
+						continue
+					}
 					alg.MSGGen(ctx, t.Src, t.Dst, t.W, vb.Row(int(t.SrcRow)),
 						func(_ graph.VertexID, msg []float64) {
 							alg.MSGMerge(acc[row*msgW:(row+1)*msgW], msg)

@@ -155,8 +155,10 @@ func TestAgentEmptyPartition(t *testing.T) {
 	}
 }
 
-// RequestMerge must reject messages addressed to vertices this node does
-// not master — silent misdelivery would corrupt results.
+// Messages addressed to vertices a node does not master must be rejected
+// — silent misdelivery would corrupt results. The map→inbox converter
+// enforces this at routing time, and RequestMerge rejects an inbox whose
+// geometry does not match the node's master set.
 func TestRequestMergeRejectsForeignVertex(t *testing.T) {
 	a, _ := connectedAgent(t)
 	defer a.Disconnect()
@@ -165,7 +167,12 @@ func TestRequestMergeRejectsForeignVertex(t *testing.T) {
 		t.Fatal(err)
 	}
 	bogus := map[graph.VertexID][]float64{graph.VertexID(1 << 30): {1}}
-	if err := a.RequestMerge(res, bogus); err == nil {
-		t.Fatal("merge for foreign vertex accepted")
+	if _, err := InboxFromMap(a.alg, a.Masters(), a.alg.MsgWidth(), bogus); err == nil {
+		t.Fatal("inbox for foreign vertex accepted")
+	}
+	wrongGeometry := NewInbox(a.alg, len(a.Masters())+3, a.alg.MsgWidth())
+	wrongGeometry.Merge(a.alg, int32(len(a.Masters())+1), []float64{1})
+	if err := a.RequestMerge(res, wrongGeometry); err == nil {
+		t.Fatal("merge with mismatched inbox geometry accepted")
 	}
 }

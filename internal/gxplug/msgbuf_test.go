@@ -1,0 +1,128 @@
+package gxplug
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gxplug/internal/algos"
+	"gxplug/internal/graph"
+)
+
+// The dense outbox and its overflow fallback must accumulate identical
+// merged messages: the dense range is an optimization, never a semantic.
+func TestOutboxOverflowMatchesDense(t *testing.T) {
+	alg := algos.NewSSSPBF([]graph.VertexID{0, 1})
+	mw := alg.MsgWidth()
+	rng := rand.New(rand.NewSource(11))
+
+	full := NewOutbox(alg, 100, mw)  // every id dense
+	tiny := NewOutbox(alg, 10, mw)   // ids >= 10 overflow
+	for round := 0; round < 3; round++ {
+		full.Reset(alg)
+		tiny.Reset(alg)
+		for i := 0; i < 500; i++ {
+			id := graph.VertexID(rng.Intn(100))
+			msg := make([]float64, mw)
+			for k := range msg {
+				msg[k] = rng.Float64() * 10
+			}
+			full.Add(alg, id, msg)
+			tiny.Add(alg, id, msg)
+		}
+		if full.Len() != tiny.Len() {
+			t.Fatalf("round %d: dense holds %d destinations, overflow %d", round, full.Len(), tiny.Len())
+		}
+		collect := func(ob *Outbox) map[graph.VertexID][]float64 {
+			out := make(map[graph.VertexID][]float64)
+			ob.Each(func(id graph.VertexID, msg []float64) {
+				cp := make([]float64, len(msg))
+				copy(cp, msg)
+				out[id] = cp
+			})
+			return out
+		}
+		a, b := collect(full), collect(tiny)
+		for id, msg := range a {
+			other, ok := b[id]
+			if !ok {
+				t.Fatalf("round %d: id %d missing from overflow outbox", round, id)
+			}
+			for k := range msg {
+				if math.Float64bits(msg[k]) != math.Float64bits(other[k]) {
+					t.Fatalf("round %d: id %d slot %d: dense %v overflow %v", round, id, k, msg[k], other[k])
+				}
+			}
+		}
+	}
+}
+
+// Reset must restore merge identities in touched rows — stale values
+// leaking across supersteps would silently corrupt merges.
+func TestOutboxResetRestoresIdentity(t *testing.T) {
+	alg := algos.NewCC() // min-merge, identity +Inf
+	ob := NewOutbox(alg, 5, 1)
+	ob.Add(alg, 2, []float64{7})
+	ob.Reset(alg)
+	if ob.Len() != 0 {
+		t.Fatalf("len %d after reset", ob.Len())
+	}
+	ob.Add(alg, 2, []float64{9})
+	ob.Each(func(id graph.VertexID, msg []float64) {
+		if id != 2 || msg[0] != 9 {
+			t.Fatalf("got id=%d msg=%v after reset+add, want 2/[9]", id, msg)
+		}
+	})
+}
+
+// An inbox built through the legacy map converter must match one built by
+// dense merges, and reject messages for vertices outside the master set.
+func TestInboxFromMapMatchesDense(t *testing.T) {
+	alg := algos.NewPageRank()
+	masters := []graph.VertexID{3, 7, 20, 41}
+	incoming := map[graph.VertexID][]float64{
+		7:  {0.25},
+		41: {0.5},
+	}
+	fromMap, err := InboxFromMap(alg, masters, 1, incoming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := NewInbox(alg, len(masters), 1)
+	dense.Merge(alg, 1, []float64{0.25})
+	dense.Merge(alg, 3, []float64{0.5})
+	if fromMap.Len() != dense.Len() {
+		t.Fatalf("len %d vs %d", fromMap.Len(), dense.Len())
+	}
+	for i, v := range dense.Acc() {
+		if math.Float64bits(fromMap.Acc()[i]) != math.Float64bits(v) {
+			t.Fatalf("acc[%d]: %v vs %v", i, fromMap.Acc()[i], v)
+		}
+	}
+	if _, err := InboxFromMap(alg, masters, 1, map[graph.VertexID][]float64{8: {1}}); err == nil {
+		t.Fatal("foreign vertex accepted")
+	}
+}
+
+// GenResult.Reset must clear local accumulators back to the merge
+// identity so a reused buffer behaves exactly like a fresh one.
+func TestGenResultReset(t *testing.T) {
+	alg := algos.NewCC()
+	res := NewGenResult(alg, 3, 10, 1)
+	res.LocalAcc[1] = 4
+	res.LocalRecv[1] = true
+	res.Remote.Add(alg, 9, []float64{2})
+	res.Entities = 17
+	res.Reset(alg)
+	if res.Entities != 0 || res.Remote.Len() != 0 {
+		t.Fatalf("reset left entities=%d remote=%d", res.Entities, res.Remote.Len())
+	}
+	for mi, r := range res.LocalRecv {
+		if r {
+			t.Fatalf("recv[%d] still set", mi)
+		}
+	}
+	if !math.IsInf(res.LocalAcc[1], 1) {
+		t.Fatalf("acc[1] = %v, want merge identity +Inf", res.LocalAcc[1])
+	}
+}

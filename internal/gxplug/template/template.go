@@ -108,3 +108,16 @@ func InitialFrontier(a Algorithm, numV int) []bool {
 type Sourced interface {
 	Sources() []graph.VertexID
 }
+
+// InlineGen is an optional allocation-free fast path for the common case
+// of one message per edge, delivered to the triplet's destination.
+// MSGGenInto writes that message into msg (caller-supplied, MsgWidth
+// wide) and reports whether a message was produced; msg contents are
+// unspecified when it returns false. Implementations must produce exactly
+// the messages MSGGen emits — executors are free to use either path, and
+// results must be bit-identical. Like MSGGen it must be safe for
+// concurrent calls on disjoint data (msg is the caller's scratch, one per
+// worker).
+type InlineGen interface {
+	MSGGenInto(ctx *Context, src, dst graph.VertexID, w float64, srcAttr, msg []float64) bool
+}

@@ -91,6 +91,9 @@ func TestFig8Shape(t *testing.T) {
 // Fig 9a shape: Gunrock best at 1 GPU and "No Config" beyond; GX-Plug
 // beats Lux from 4 GPUs; GX-Plug time decreases with GPUs.
 func TestFig9aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation sweep; run without -short for the full shape check")
+	}
 	res, err := Fig9a(Options{Scale: 1000, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
@@ -118,6 +121,9 @@ func TestFig9aShape(t *testing.T) {
 // Fig 9b shape: Gunrock OOMs on both graphs; UK at 4 GPUs fails for
 // everyone; UK at 12 works for the distributed systems.
 func TestFig9bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation sweep; run without -short for the full shape check")
+	}
 	res, err := Fig9b(Options{Scale: 4000, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
@@ -154,6 +160,9 @@ func TestFig9bShape(t *testing.T) {
 
 // Fig 9c shape: every algorithm speeds up from 1 to 12 GPUs.
 func TestFig9cShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation sweep; run without -short for the full shape check")
+	}
 	res, err := Fig9c(Options{Scale: 1000, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
@@ -172,6 +181,9 @@ func TestFig9cShape(t *testing.T) {
 
 // Fig 9d shape: more compute power means less time, combo by combo.
 func TestFig9dShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation sweep; run without -short for the full shape check")
+	}
 	res, err := Fig9d(Options{Scale: 1000, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
@@ -260,6 +272,9 @@ func TestFig11bShape(t *testing.T) {
 // Fig 12 shape: balanced beats not-balanced; optimal estimation is a
 // lower bound near the balanced measurement.
 func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation sweep; run without -short for the full shape check")
+	}
 	for name, fn := range map[string]func(Options) (*Fig12Result, error){
 		"a": Fig12a, "b": Fig12b,
 	} {
