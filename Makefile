@@ -1,19 +1,28 @@
 # Developer entry points. `make ci` is what the repository considers its
-# gate: vet, build, and the short test suite under the race detector
-# (GOMAXPROCS is raised so the parallel superstep fan-out really runs
-# concurrently even on small machines).
+# gate: gofmt, vet, build (including every example), and the short test
+# suite under the race detector (GOMAXPROCS is raised so the parallel
+# superstep fan-out really runs concurrently even on small machines).
 
 GO ?= go
 
-.PHONY: all vet build test test-full race ci bench
+.PHONY: all fmt vet build examples test test-full race ci bench
 
 all: ci
+
+fmt:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+examples:
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test -short ./...
@@ -25,7 +34,7 @@ test-full:
 race:
 	GOMAXPROCS=8 $(GO) test -short -race ./...
 
-ci: vet build race
+ci: fmt vet build examples race
 
 # Record the engine superstep microbenchmarks (latency + allocs) in
 # BENCH_engine.json.

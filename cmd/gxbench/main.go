@@ -4,18 +4,24 @@
 //
 //	gxbench -exp all                 # every experiment at the default scale
 //	gxbench -exp fig9a -scale 500    # one experiment, custom scale
+//	gxbench -exp fig8 -dataset wrn   # restrict fig8 to one dataset
 //	gxbench -list                    # list experiment names
 //
 // Output is the textual form of each figure: the same rows and series the
-// paper plots, produced by the internal/harness runners.
+// paper plots, produced by the internal/harness runners. Unknown -exp and
+// -dataset values fail with the list of known names (datasets come from
+// the gx registry).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
+	"strings"
 
+	"gxplug/gx"
 	"gxplug/internal/gen"
 	"gxplug/internal/harness"
 )
@@ -26,13 +32,15 @@ type experiment struct {
 	run  func(harness.Options) (fmt.Stringer, error)
 }
 
-func experiments() []experiment {
+// experiments builds the catalog; fig8Datasets restricts the fig8 sweep
+// (nil = the full Table I set).
+func experiments(fig8Datasets []gen.Dataset) []experiment {
 	return []experiment{
 		{"table1", "Table I: dataset catalog", func(o harness.Options) (fmt.Stringer, error) {
 			return harness.TableDatasets(o)
 		}},
 		{"fig8", "Fig 8: engines × accelerators × algorithms × datasets", func(o harness.Options) (fmt.Stringer, error) {
-			return harness.Fig8(o, nil)
+			return harness.Fig8(o, fig8Datasets)
 		}},
 		{"fig8-orkut", "Fig 8 restricted to Orkut (fast)", func(o harness.Options) (fmt.Stringer, error) {
 			return harness.Fig8(o, []gen.Dataset{gen.Orkut})
@@ -78,14 +86,25 @@ func experiments() []experiment {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment name, or 'all'")
-		scale = flag.Int64("scale", 1000, "dataset scale divisor (1000 = 1/1000 of Table I sizes)")
-		seed  = flag.Int64("seed", 42, "generator seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "experiment name, or 'all'")
+		scale   = flag.Int64("scale", 1000, "dataset scale divisor (1000 = 1/1000 of Table I sizes)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		dataset = flag.String("dataset", "", "restrict fig8 to one dataset: "+strings.Join(gx.Datasets(), " | "))
+		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
-	exps := experiments()
+	var fig8Datasets []gen.Dataset
+	if *dataset != "" {
+		if !slices.Contains(gx.Datasets(), *dataset) {
+			fmt.Fprintf(os.Stderr, "gxbench: unknown dataset %q (registered: %s)\n",
+				*dataset, strings.Join(gx.Datasets(), ", "))
+			os.Exit(2)
+		}
+		fig8Datasets = []gen.Dataset{gen.Dataset(*dataset)}
+	}
+
+	exps := experiments(fig8Datasets)
 	if *list {
 		names := make([]string, 0, len(exps))
 		for _, e := range exps {
@@ -104,7 +123,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	ran := false
+	if *exp != "all" {
+		known := false
+		for _, e := range exps {
+			known = known || e.name == *exp
+		}
+		if !known {
+			names := make([]string, 0, len(exps))
+			for _, e := range exps {
+				names = append(names, e.name)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(os.Stderr, "gxbench: unknown experiment %q (registered: %s)\n",
+				*exp, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+	}
 	for _, e := range exps {
 		if *exp != "all" && e.name != *exp {
 			continue
@@ -112,16 +146,11 @@ func main() {
 		if *exp == "all" && e.name == "fig8-orkut" {
 			continue // subsumed by fig8
 		}
-		ran = true
 		res, err := e.run(o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			os.Exit(1)
 		}
 		fmt.Println(res.String())
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
-		os.Exit(2)
 	}
 }

@@ -1,127 +1,154 @@
 // Command gxrun executes one graph algorithm on one engine configuration
 // end-to-end and reports timing, iteration counts and optimization
-// statistics.
+// statistics. Runs are described either by flags or by a declarative
+// scenario file; both paths build the same gx.Scenario, so they produce
+// bit-identical results.
 //
 //	gxrun -engine powergraph -algo pagerank -dataset orkut -nodes 4 -gpus 2
 //	gxrun -engine graphx -algo sssp -dataset wrn -nodes 4 -accel cpu
-//	gxrun -engine graphx -algo lp -dataset livejournal -accel none
+//	gxrun -scenario testdata/pagerank-pg-4n.json
+//	gxrun -algo sssp -dataset wrn -progress      # one line per superstep
+//
+// Unknown -engine/-algo/-dataset/-accel values fail with the list of
+// registered names; gx.Register* extends those lists.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
-	"gxplug/internal/algos"
-	"gxplug/internal/device"
-	"gxplug/internal/engine"
-	"gxplug/internal/engine/graphx"
-	"gxplug/internal/engine/powergraph"
-	"gxplug/internal/gen"
-	"gxplug/internal/graph"
-	"gxplug/internal/gxplug"
-	"gxplug/internal/gxplug/template"
-	"gxplug/internal/harness"
+	"gxplug/gx"
 )
 
-func main() {
-	var (
-		engineName = flag.String("engine", "powergraph", "graphx | powergraph")
-		algoName   = flag.String("algo", "pagerank", "pagerank | sssp | lp | cc | kcore")
-		dataset    = flag.String("dataset", "orkut", "dataset stand-in name")
-		scale      = flag.Int64("scale", 1000, "dataset scale divisor")
-		seed       = flag.Int64("seed", 42, "generator seed")
-		nodes      = flag.Int("nodes", 4, "distributed nodes")
-		accel      = flag.String("accel", "gpu", "gpu | cpu | none")
-		gpus       = flag.Int("gpus", 1, "GPU daemons per node when -accel gpu")
-		maxIter    = flag.Int("maxiter", 0, "iteration cap (0 = algorithm default)")
-		k          = flag.Int("k", 3, "k for -algo kcore")
-		noOpt      = flag.Bool("no-opt", false, "disable pipeline/caching/skipping optimizations")
-	)
-	flag.Parse()
+// errFlagParse marks flag-parsing failures the FlagSet has already
+// reported to stderr, so main does not print them twice.
+var errFlagParse = errors.New("gxrun: bad flags")
 
-	fail := func(err error) {
+func main() {
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	case errors.Is(err, errFlagParse):
+		os.Exit(2)
+	default:
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
 
-	g, err := gen.Load(gen.Dataset(*dataset), *scale, *seed)
-	if err != nil {
-		fail(err)
-	}
-
-	var alg template.Algorithm
-	switch *algoName {
-	case "pagerank":
-		alg = algos.NewPageRank()
-	case "sssp":
-		alg = algos.NewSSSPBF(algos.DefaultSources(g.NumVertices()))
-	case "lp":
-		alg = algos.NewLP()
-	case "cc":
-		alg = algos.NewCC()
-	case "kcore":
-		alg = algos.NewKCore(*k)
-	default:
-		fail(fmt.Errorf("unknown algorithm %q", *algoName))
-	}
-
-	var plug []gxplug.Options
-	switch *accel {
-	case "none":
-	case "cpu":
-		o := gxplug.DefaultOptions()
-		o.Devices = []device.Spec{device.Xeon20()}
-		if *noOpt {
-			o.Pipeline, o.Caching, o.Skipping, o.OptimalBlockSize = false, false, false, false
+// run is the testable entry point: parse args, build one gx.Scenario
+// (from a file or from flags), execute it, and print the report.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gxrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scenarioPath = fs.String("scenario", "", "JSON scenario file (overrides the per-field flags)")
+		engineName   = fs.String("engine", "powergraph", "engine: "+strings.Join(gx.Engines(), " | "))
+		algoName     = fs.String("algo", "pagerank", "algorithm: "+strings.Join(gx.Algorithms(), " | "))
+		dataset      = fs.String("dataset", "orkut", "dataset: "+strings.Join(gx.Datasets(), " | "))
+		scale        = fs.Int64("scale", gx.DefaultScale, "dataset scale divisor")
+		seed         = fs.Int64("seed", gx.DefaultSeed, "generator seed")
+		nodes        = fs.Int("nodes", 4, "distributed nodes")
+		accel        = fs.String("accel", "gpu", "accelerator profile: "+strings.Join(gx.Accelerators(), " | "))
+		gpus         = fs.Int("gpus", 1, "GPU daemons per node when -accel gpu")
+		maxIter      = fs.Int("maxiter", 0, "iteration cap (0 = algorithm default)")
+		k            = fs.Int("k", 0, "k for -algo kcore / hop bound for -algo bfs (0 = default)")
+		network      = fs.String("net", gx.DefaultNetwork, "network: "+strings.Join(gx.Networks(), " | "))
+		noOpt        = fs.Bool("no-opt", false, "disable pipeline/caching/skipping optimizations")
+		progress     = fs.Bool("progress", false, "print one line per superstep (live observer)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
 		}
-		plug = []gxplug.Options{o}
-	case "gpu":
-		o := harness.GPUPlug(*scale, *gpus)
-		if *noOpt {
-			o.Pipeline, o.Caching, o.Skipping, o.OptimalBlockSize = false, false, false, false
+		return errFlagParse // the FlagSet already printed the details
+	}
+
+	var s gx.Scenario
+	if *scenarioPath != "" {
+		var err error
+		if s, err = gx.LoadScenario(*scenarioPath); err != nil {
+			return err
 		}
-		plug = []gxplug.Options{o}
-	default:
-		fail(fmt.Errorf("unknown accelerator %q", *accel))
+	} else {
+		s = gx.Scenario{
+			Engine:    *engineName,
+			Algorithm: *algoName,
+			Params:    gx.AlgoParams{K: *k},
+			Dataset:   *dataset,
+			Scale:     *scale,
+			Seed:      *seed,
+			Nodes:     *nodes,
+			Accel:     *accel,
+			GPUs:      *gpus,
+			MaxIter:   *maxIter,
+			Network:   *network,
+		}
+		if *noOpt {
+			s.Opt = gx.NoOptimizations()
+		}
+	}
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return err
 	}
 
-	run := powergraph.Run
-	if *engineName == "graphx" {
-		run = graphx.Run
-	} else if *engineName != "powergraph" {
-		fail(fmt.Errorf("unknown engine %q", *engineName))
-	}
-
-	res, err := run(engine.Config{
-		Nodes: *nodes, Graph: g, Alg: alg, Plug: plug, MaxIter: *maxIter,
-	})
+	// Load the graph up front so its stats can be printed; gx.Run uses the
+	// same loader, so handing the instance over changes nothing.
+	g, err := gx.LoadDataset(s.Dataset, s.Scale, s.Seed)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
+	opts := []gx.Option{gx.WithGraph(g)}
+	if *progress {
+		opts = append(opts, gx.WithObserver(func(st gx.Superstep) {
+			mark := " "
+			if st.SkippedSync {
+				mark = "s"
+			}
+			fmt.Fprintf(stdout, "  [%4d]%s frontier=%-9d msgs=%-9d mirrors=%-7d t=%v\n",
+				st.Iteration, mark, st.Frontier, st.Messages, st.MirrorUpdates, st.Makespan)
+		}))
+	}
+
+	res, err := gx.Run(s, opts...)
+	if err != nil {
+		return err
+	}
+	report(stdout, s, g, res)
+	return nil
+}
+
+// report prints the run summary, ending in a digest that makes two runs
+// comparable at a glance.
+func report(w io.Writer, s gx.Scenario, g *gx.Graph, res *gx.Result) {
 	st := g.Stats()
-	fmt.Printf("%s on %s (%dV/%dE) over %d nodes, accel=%s\n",
-		alg.Name(), *dataset, st.Vertices, st.Edges, *nodes, *accel)
-	fmt.Printf("  time        : %v\n", res.Time)
-	fmt.Printf("  iterations  : %d (%d syncs skipped)\n", res.Iterations, res.SkippedSyncs)
-	if plug != nil {
+	fmt.Fprintf(w, "%s on %s (%dV/%dE) over %d nodes, accel=%s\n",
+		s.Algorithm, s.Dataset, st.Vertices, st.Edges, s.Nodes, s.Accel)
+	fmt.Fprintf(w, "  time        : %v\n", res.Time)
+	fmt.Fprintf(w, "  iterations  : %d (%d syncs skipped)\n", res.Iterations, res.SkippedSyncs)
+	if res.AgentStats != nil {
 		total := res.MiddlewareTime + res.UpperTime
-		fmt.Printf("  middleware  : %v (%.0f%% of node time)\n",
+		fmt.Fprintf(w, "  middleware  : %v (%.0f%% of node time)\n",
 			res.MiddlewareTime, 100*float64(res.MiddlewareTime)/float64(total))
 		var entities, blocks, hits, misses int64
-		for _, s := range res.AgentStats {
-			entities += s.Entities
-			blocks += s.Blocks
-			hits += s.CacheHits
-			misses += s.CacheMisses
+		for _, as := range res.AgentStats {
+			entities += as.Entities
+			blocks += as.Blocks
+			hits += as.CacheHits
+			misses += as.CacheMisses
 		}
-		fmt.Printf("  entities    : %d in %d blocks\n", entities, blocks)
+		fmt.Fprintf(w, "  entities    : %d in %d blocks\n", entities, blocks)
 		if hits+misses > 0 {
-			fmt.Printf("  cache       : %.0f%% hit rate\n", 100*float64(hits)/float64(hits+misses))
+			fmt.Fprintf(w, "  cache       : %.0f%% hit rate\n", 100*float64(hits)/float64(hits+misses))
 		}
 	}
-	// A tiny result digest so runs are comparable.
 	var sum float64
 	finite := 0
 	for _, v := range res.Attrs {
@@ -130,8 +157,7 @@ func main() {
 			finite++
 		}
 	}
-	fmt.Printf("  result      : %d finite attribute values, sum %.4f\n", finite, sum)
-	_ = graph.VertexID(0)
+	fmt.Fprintf(w, "  result      : %d finite attribute values, sum %.4f\n", finite, sum)
 }
 
 func isInf(v float64) bool { return v > 1e308 || v < -1e308 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestScenarioFileMatchesFlags is the golden smoke test: the scenario
+// fixture and the equivalent flag invocation must print byte-identical
+// reports — same virtual time, same iteration counts, same result digest
+// — because both build the same gx.Scenario.
+func TestScenarioFileMatchesFlags(t *testing.T) {
+	var fromFile, fromFlags bytes.Buffer
+	if err := run([]string{"-scenario", "testdata/pagerank-pg-4n.json"}, &fromFile, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"-engine", "powergraph", "-algo", "pagerank", "-dataset", "orkut",
+		"-scale", "4000", "-seed", "42", "-nodes", "4",
+		"-accel", "gpu", "-gpus", "1", "-maxiter", "10",
+	}, &fromFlags, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.String() != fromFlags.String() {
+		t.Fatalf("scenario file and flags disagree:\n--- scenario\n%s--- flags\n%s",
+			fromFile.String(), fromFlags.String())
+	}
+	if !strings.Contains(fromFile.String(), "result      :") {
+		t.Fatalf("report missing result digest:\n%s", fromFile.String())
+	}
+}
+
+// TestUnknownNamesListRegistered checks the registry-driven error
+// surface: a typo in any registrable flag fails with the registered
+// names, not a silent default or a bare failure.
+func TestUnknownNamesListRegistered(t *testing.T) {
+	cases := []struct {
+		args []string
+		want []string
+	}{
+		{[]string{"-engine", "giraph"}, []string{`unknown engine "giraph"`, "graphx", "powergraph"}},
+		{[]string{"-algo", "trianglecount"}, []string{`unknown algorithm "trianglecount"`, "pagerank", "kcore"}},
+		{[]string{"-dataset", "friendster"}, []string{`unknown dataset "friendster"`, "orkut", "livejournal"}},
+		{[]string{"-accel", "fpga"}, []string{`unknown accelerator "fpga"`, "cpu", "gpu", "none"}},
+		{[]string{"-net", "token-ring"}, []string{`unknown network "token-ring"`, "datacenter"}},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, io.Discard, io.Discard)
+		if err == nil {
+			t.Errorf("args %v: expected an error", tc.args)
+			continue
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("args %v: error %q missing %q", tc.args, err, want)
+			}
+		}
+	}
+}
+
+// TestProgressFlagStreamsSupersteps checks the observer-backed live
+// progress: one line per iteration ahead of the summary.
+func TestProgressFlagStreamsSupersteps(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-engine", "graphx", "-algo", "pagerank", "-dataset", "orkut",
+		"-scale", "20000", "-nodes", "2", "-accel", "none",
+		"-maxiter", "4", "-progress",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(out.String(), "frontier=")
+	if lines != 4 {
+		t.Fatalf("want 4 progress lines, got %d:\n%s", lines, out.String())
+	}
+}
+
+// TestBadScenarioFileFails: unknown fields in a scenario file are loud.
+func TestBadScenarioFileFails(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bad.json"
+	if err := os.WriteFile(path, []byte(`{"engine": "powergraph", "algorthm": "pagerank"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path}, io.Discard, io.Discard); err == nil {
+		t.Fatal("scenario with a typo field ran")
+	}
+}

@@ -10,6 +10,11 @@
 // against (Gunrock-class and Lux-class engines), and a harness that
 // regenerates every table and figure of the paper's evaluation.
 //
+// The public surface is the gx package: a registry-driven Scenario API
+// (declarative JSON-round-tripping run descriptions, gx.Run with
+// functional options, a per-superstep Observer hook) that every CLI and
+// example is built on; everything under internal/ is implementation.
+//
 // Start with DESIGN.md for the system inventory and the substitutions
 // made for hardware this environment cannot reach, and examples/quickstart
 // for the smallest end-to-end program. The benchmark file bench_test.go in

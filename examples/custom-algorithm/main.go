@@ -1,12 +1,14 @@
-// Authoring a new algorithm against the GX-Plug template.
+// Authoring a new algorithm against the GX-Plug template, through the
+// public gx package alone.
 //
 // The middleware's promise (§IV-A1) is that "algorithm engineers only
 // focus on the implementation of the APIs of the algorithm template":
-// MSGGen, MSGMerge and MSGApply. This example implements a new algorithm
-// not shipped in the library — degree-discounted influence spread (each
+// MSGGen, MSGMerge and MSGApply. This example implements an algorithm not
+// shipped in the library — degree-discounted influence spread (each
 // vertex's score is the damped sum of its in-neighbours' scores divided
-// by their out-degrees, seeded from a chosen vertex set) — and runs it
-// unchanged on both upper systems, native and accelerated.
+// by their out-degrees, seeded from a chosen vertex set) — registers it
+// under the name "influence", and runs it unchanged on both upper
+// systems, native and accelerated, purely by scenario.
 //
 //	go run ./examples/custom-algorithm
 package main
@@ -16,25 +18,19 @@ import (
 	"log"
 	"math"
 
-	"gxplug/internal/engine"
-	"gxplug/internal/engine/graphx"
-	"gxplug/internal/engine/powergraph"
-	"gxplug/internal/gen"
-	"gxplug/internal/graph"
-	"gxplug/internal/gxplug"
-	"gxplug/internal/gxplug/template"
+	"gxplug/gx"
 )
 
-// influence implements template.Algorithm. Attribute: one score slot.
+// influence implements gx.Algorithm. Attribute: one score slot.
 // Messages: damped score contributions, merged by summation.
 type influence struct {
-	seeds   map[graph.VertexID]bool
+	seeds   map[gx.VertexID]bool
 	damping float64
 	tol     float64
 }
 
-func newInfluence(seeds []graph.VertexID) *influence {
-	m := make(map[graph.VertexID]bool, len(seeds))
+func newInfluence(seeds []gx.VertexID) *influence {
+	m := make(map[gx.VertexID]bool, len(seeds))
 	for _, s := range seeds {
 		m[s] = true
 	}
@@ -45,13 +41,13 @@ func (f *influence) Name() string   { return "Influence" }
 func (f *influence) AttrWidth() int { return 1 }
 func (f *influence) MsgWidth() int  { return 1 }
 
-func (f *influence) Init(_ *template.Context, id graph.VertexID, attr []float64) {
+func (f *influence) Init(_ *gx.Context, id gx.VertexID, attr []float64) {
 	if f.seeds[id] {
 		attr[0] = 1
 	}
 }
 
-func (f *influence) MSGGen(ctx *template.Context, src, dst graph.VertexID, _ float64, srcAttr []float64, emit template.Emit) {
+func (f *influence) MSGGen(ctx *gx.Context, src, dst gx.VertexID, _ float64, srcAttr []float64, emit gx.Emit) {
 	deg := ctx.OutDeg(src)
 	if deg == 0 || srcAttr[0] == 0 {
 		return
@@ -62,7 +58,7 @@ func (f *influence) MSGGen(ctx *template.Context, src, dst graph.VertexID, _ flo
 func (f *influence) MergeIdentity(msg []float64) { msg[0] = 0 }
 func (f *influence) MSGMerge(acc, msg []float64) { acc[0] += msg[0] }
 
-func (f *influence) MSGApply(_ *template.Context, id graph.VertexID, attr, msg []float64, received bool) bool {
+func (f *influence) MSGApply(_ *gx.Context, id gx.VertexID, attr, msg []float64, received bool) bool {
 	base := 0.0
 	if f.seeds[id] {
 		base = 1
@@ -76,8 +72,8 @@ func (f *influence) MSGApply(_ *template.Context, id graph.VertexID, attr, msg [
 	return changed
 }
 
-func (f *influence) Hints() template.Hints {
-	return template.Hints{
+func (f *influence) Hints() gx.Hints {
+	return gx.Hints{
 		GenAll:       true,
 		ApplyAll:     true,
 		OpsPerEdge:   60,
@@ -85,48 +81,54 @@ func (f *influence) Hints() template.Hints {
 	}
 }
 
-func main() {
-	g, err := gen.Load(gen.WikiTopcats, 1000, 9)
-	if err != nil {
-		log.Fatal(err)
-	}
-	seeds := []graph.VertexID{0, graph.VertexID(g.NumVertices() / 2)}
-	alg := newInfluence(seeds)
+// Registration makes "influence" addressable from scenarios, scenario
+// files, and gxrun flags — exactly like the built-ins, which register
+// through the same call.
+func init() {
+	gx.RegisterAlgorithm(gx.AlgorithmDef{
+		Name: "influence",
+		New: func(_ gx.AlgoParams, numV int) (gx.Algorithm, error) {
+			return newInfluence([]gx.VertexID{0, gx.VertexID(numV / 2)}), nil
+		},
+	})
+}
 
+func main() {
 	// The same template instance runs under BSP (GraphX order
 	// Gen→Merge→Apply) and GAS (PowerGraph order Merge→Apply→Gen),
-	// natively or through GPU daemons — no algorithm changes.
-	configs := []struct {
-		name string
-		run  func(engine.Config) (*engine.Result, error)
-		plug []gxplug.Options
-	}{
-		{"GraphX native", graphx.Run, nil},
-		{"GraphX + GPU", graphx.Run, []gxplug.Options{gxplug.DefaultOptions()}},
-		{"PowerGraph native", powergraph.Run, nil},
-		{"PowerGraph + GPU", powergraph.Run, []gxplug.Options{gxplug.DefaultOptions()}},
+	// natively or through GPU daemons — no algorithm changes, and with
+	// the registry no construction code either: only scenarios differ.
+	base := gx.Scenario{
+		Algorithm: "influence",
+		Dataset:   "wiki-topcats",
+		Seed:      9,
+		Nodes:     3,
 	}
 	var reference []float64
-	for _, c := range configs {
-		res, err := c.run(engine.Config{Nodes: 3, Graph: g, Alg: alg, Plug: c.plug})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if reference == nil {
-			reference = res.Attrs
-		} else {
-			for i := range reference {
-				if math.Abs(reference[i]-res.Attrs[i]) > 1e-9 {
-					log.Fatalf("%s disagrees with reference at %d", c.name, i)
+	for _, engine := range []string{"graphx", "powergraph"} {
+		for _, accel := range []string{"none", "gpu"} {
+			s := base
+			s.Engine, s.Accel = engine, accel
+			res, err := gx.Run(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if reference == nil {
+				reference = res.Attrs
+			} else {
+				for i := range reference {
+					if math.Abs(reference[i]-res.Attrs[i]) > 1e-9 {
+						log.Fatalf("%s/%s disagrees with reference at %d", engine, accel, i)
+					}
 				}
 			}
+			var mass float64
+			for _, score := range res.Attrs {
+				mass += score
+			}
+			fmt.Printf("%-10s accel=%-4s: %v, %d iterations, total influence mass %.4f\n",
+				engine, accel, res.Time, res.Iterations, mass)
 		}
-		var mass float64
-		for _, s := range res.Attrs {
-			mass += s
-		}
-		fmt.Printf("%-18s: %v, %d iterations, total influence mass %.4f\n",
-			c.name, res.Time, res.Iterations, mass)
 	}
 	fmt.Println("all four configurations agree — one template, two models, two runtimes")
 }

@@ -5,7 +5,9 @@
 // fixed call cost plus serialization. Synchronization caching keeps
 // unchanged vertices out of that boundary; synchronization skipping
 // bypasses whole supersteps when no node needs remote data. This example
-// runs the same LP workload with the optimizations off and on.
+// runs the same LP workload with the optimizations toggled through the
+// scenario's Opt field, then watches skipping fire live through a
+// per-superstep observer.
 //
 //	go run ./examples/labelprop-graphx
 package main
@@ -14,29 +16,29 @@ import (
 	"fmt"
 	"log"
 
-	"gxplug/internal/algos"
-	"gxplug/internal/engine"
-	"gxplug/internal/engine/graphx"
-	"gxplug/internal/gen"
-	"gxplug/internal/gxplug"
+	"gxplug/gx"
 )
 
 func main() {
 	// A clustered social graph: locality is what skipping exploits.
-	g, err := gen.Load(gen.LiveJournal, 1000, 3)
-	if err != nil {
-		log.Fatal(err)
+	base := gx.Scenario{
+		Engine:    "graphx",
+		Algorithm: "lp",
+		Dataset:   "livejournal",
+		Seed:      3,
+		Nodes:     4,
+		Accel:     "gpu",
 	}
-	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
-	run := func(caching, skipping bool) *engine.Result {
-		opts := gxplug.DefaultOptions()
-		opts.Caching = caching
-		opts.Skipping = skipping
-		res, err := graphx.Run(engine.Config{
-			Nodes: 4, Graph: g, Alg: algos.NewLP(),
-			Plug: []gxplug.Options{opts},
-		})
+	run := func(caching, skipping bool) *gx.Result {
+		s := base
+		s.Opt = &gx.Toggles{
+			Pipeline:         true,
+			OptimalBlockSize: true,
+			Caching:          caching,
+			Skipping:         skipping,
+		}
+		res, err := gx.Run(s)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,15 +71,19 @@ func main() {
 	// LP advertises labels on every edge every iteration, so cross-node
 	// traffic never goes to zero and skipping cannot fire. Frontier-driven
 	// algorithms are skipping's habitat: the same cluster running SSSP
-	// skips every iteration whose wavefront stays inside one partition.
-	opts := gxplug.DefaultOptions()
-	sssp, err := graphx.Run(engine.Config{
-		Nodes: 4, Graph: g, Alg: algos.NewSSSPBF(algos.DefaultSources(g.NumVertices())),
-		Plug: []gxplug.Options{opts},
-	})
+	// skips every iteration whose wavefront stays inside one partition —
+	// visible live through the per-superstep observer.
+	s := base
+	s.Algorithm = "sssp"
+	skipped := 0
+	sssp, err := gx.Run(s, gx.WithObserver(func(st gx.Superstep) {
+		if st.SkippedSync {
+			skipped++
+		}
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("SSSP on the same cluster: %d/%d syncs skipped\n",
-		sssp.SkippedSyncs, sssp.Iterations)
+	fmt.Printf("SSSP on the same cluster: %d/%d syncs skipped (observer counted %d live)\n",
+		sssp.SkippedSyncs, sssp.Iterations, skipped)
 }

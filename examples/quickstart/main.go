@@ -1,9 +1,9 @@
 // Quickstart: plug a GPU into a PowerGraph-class engine and run PageRank.
 //
-// This is the smallest end-to-end use of the public surface: generate a
-// graph, choose an engine, hand the middleware a device list, run, and
-// read the results. Everything else in this repository is a refinement of
-// these six steps.
+// This is the smallest end-to-end use of the public surface: describe the
+// run as a gx.Scenario, execute it, and compare against the same engine
+// without the middleware. Everything else in this repository is a
+// refinement of these steps.
 //
 //	go run ./examples/quickstart
 package main
@@ -11,68 +11,32 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
 
-	"gxplug/internal/algos"
-	"gxplug/internal/engine"
-	"gxplug/internal/engine/powergraph"
-	"gxplug/internal/gen"
-	"gxplug/internal/graph"
-	"gxplug/internal/gxplug"
+	"gxplug/gx"
 )
 
 func main() {
-	// 1. A graph: the Orkut stand-in at 1/2000 of its real size.
-	g, err := gen.Load(gen.Orkut, 2000, 1)
+	s := gx.Scenario{
+		Engine:    "powergraph",
+		Algorithm: "pagerank",
+		Dataset:   "orkut", // the Orkut stand-in, at 1/2000 of its real size
+		Scale:     2000,
+		Seed:      1,
+		Nodes:     4,
+		Accel:     "gpu", // one V100-class daemon per node, all optimizations on
+	}
+	accel, err := gx.Run(s)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
-
-	// 2. Middleware options: one V100-class GPU daemon per node, with
-	//    every optimization (pipeline shuffle, optimal block size,
-	//    synchronization caching and skipping) enabled.
-	plug := gxplug.DefaultOptions()
-
-	// 3. Run PageRank on a 4-node PowerGraph-class cluster, accelerated.
-	res, err := powergraph.Run(engine.Config{
-		Nodes: 4,
-		Graph: g,
-		Alg:   algos.NewPageRank(),
-		Plug:  []gxplug.Options{plug},
-	})
+	s.Accel = "none" // same run on the engine's native executor
+	native, err := gx.Run(s)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// 4. Compare against the same engine without the middleware.
-	native, err := powergraph.Run(engine.Config{
-		Nodes: 4,
-		Graph: g,
-		Alg:   algos.NewPageRank(),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	fmt.Printf("PowerGraph native : %v over %d iterations\n", native.Time, native.Iterations)
 	fmt.Printf("PowerGraph+GX-Plug: %v over %d iterations (%.1fx acceleration)\n",
-		res.Time, res.Iterations, native.Time.Seconds()/res.Time.Seconds())
+		accel.Time, accel.Iterations, native.Time.Seconds()/accel.Time.Seconds())
 	fmt.Printf("middleware share  : %.0f%% of summed node time\n",
-		100*float64(res.MiddlewareTime)/float64(res.MiddlewareTime+res.UpperTime))
-
-	// 5. Results: top-5 ranked vertices.
-	type vr struct {
-		v    graph.VertexID
-		rank float64
-	}
-	top := make([]vr, g.NumVertices())
-	for v := range top {
-		top[v] = vr{graph.VertexID(v), res.Attrs[v]}
-	}
-	sort.Slice(top, func(i, j int) bool { return top[i].rank > top[j].rank })
-	fmt.Println("top ranked vertices:")
-	for _, e := range top[:5] {
-		fmt.Printf("  vertex %-8d rank %.6f\n", e.v, e.rank)
-	}
+		100*float64(accel.MiddlewareTime)/float64(accel.MiddlewareTime+accel.UpperTime))
 }

@@ -4,6 +4,8 @@
 // accelerator budgets (one GPU + one CPU versus three GPUs + one CPU).
 // Splitting the graph evenly starves the strong node; the Lemma 2
 // balancer splits by computation capacity so both nodes finish together.
+// Per-node hardware and the tuned partitioning ride in through functional
+// options on top of the declarative scenario.
 //
 //	go run ./examples/sssp-cluster
 package main
@@ -13,57 +15,55 @@ import (
 	"log"
 	"math"
 
-	"gxplug/internal/algos"
-	"gxplug/internal/device"
-	"gxplug/internal/engine"
-	"gxplug/internal/engine/powergraph"
-	"gxplug/internal/gen"
-	"gxplug/internal/graph"
-	"gxplug/internal/gxplug"
-	"gxplug/internal/gxplug/balance"
+	"gxplug/gx"
 )
 
 func main() {
-	g, err := gen.Load(gen.Orkut, 250, 7)
+	scen := gx.Scenario{
+		Engine:    "powergraph",
+		Algorithm: "sssp",
+		Dataset:   "orkut",
+		Scale:     250,
+		Seed:      7,
+		Nodes:     2,
+	}
+	g, err := gx.LoadDataset(scen.Dataset, scen.Scale, scen.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	alg := algos.NewSSSPBF(algos.DefaultSources(g.NumVertices()))
+	alg, err := gx.NewAlgorithm(scen.Algorithm, scen.Params, g.NumVertices())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Two nodes with unequal hardware.
-	weak := gxplug.DefaultOptions()
-	weak.Devices = []device.Spec{device.V100(), device.Xeon20()}
-	strong := gxplug.DefaultOptions()
-	strong.Devices = []device.Spec{device.V100(), device.V100(), device.V100(), device.Xeon20()}
-	plugs := []gxplug.Options{weak, strong}
+	weak := gx.DefaultPlug()
+	weak.Devices = []gx.DeviceSpec{gx.V100(), gx.Xeon20()}
+	strong := gx.DefaultPlug()
+	strong.Devices = []gx.DeviceSpec{gx.V100(), gx.V100(), gx.V100(), gx.Xeon20()}
+	plugs := []gx.PlugOptions{weak, strong}
 
-	// Estimate each node's computation capacity factor 1/c_j from its
-	// devices, then derive the Lemma 2 partition fractions.
-	capacity := func(devs []device.Spec) float64 {
-		var rate float64
-		for _, s := range devs {
-			rate += device.New(s).EffectiveRate(1 << 20)
-		}
-		return rate / alg.Hints().OpsPerEdge // edge entities per second
-	}
-	c := []float64{1 / capacity(weak.Devices), 1 / capacity(strong.Devices)}
-	fractions, err := balance.Fractions(c)
+	// Derive the Lemma 2 partition fractions from each node's
+	// computation capacity.
+	fractions, err := gx.CapacityFractions(plugs, alg.Hints().OpsPerEdge)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("capacity-based split: %.0f%% / %.0f%%\n", 100*fractions[0], 100*fractions[1])
 
-	run := func(p *graph.Partitioning) *engine.Result {
-		res, err := powergraph.Run(engine.Config{
-			Nodes: 2, Graph: g, Alg: alg, Partitioning: p, Plug: plugs,
-		})
+	run := func(p *gx.Partitioning) *gx.Result {
+		res, err := gx.Run(scen,
+			gx.WithGraph(g),
+			gx.WithPlug(plugs...),
+			gx.WithPartitioning(p),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		return res
 	}
-	even := run(graph.PartitionBySizes(g, []float64{1, 1}))
-	tuned := run(graph.PartitionBySizes(g, fractions))
+	even := run(gx.PartitionBySizes(g, []float64{1, 1}))
+	tuned := run(gx.PartitionBySizes(g, fractions))
 
 	fmt.Printf("even split    : %v\n", even.Time)
 	fmt.Printf("balanced split: %v (%.0f%% faster)\n", tuned.Time,

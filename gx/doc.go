@@ -1,0 +1,39 @@
+// Package gx is the public API of this repository: a registry-driven,
+// declarative surface for describing and executing accelerated
+// distributed graph computations. Everything under internal/ is
+// implementation; new workloads, sweeps, and services build against gx.
+//
+// A run is described by a [Scenario] — engine, algorithm and parameters,
+// dataset and scale, node count, accelerator mix, network, and
+// optimization toggles — which validates itself, round-trips through
+// JSON (`gxrun -scenario file.json` and programmatic callers describe
+// runs identically), and is executed by [Run]:
+//
+//	res, err := gx.Run(gx.Scenario{
+//	    Engine:    "powergraph",
+//	    Algorithm: "pagerank",
+//	    Dataset:   "orkut",
+//	    Scale:     2000,
+//	    Nodes:     4,
+//	    Accel:     "gpu",
+//	})
+//
+// Every name a Scenario refers to resolves through a registry, and the
+// registries are open: [RegisterEngine], [RegisterAlgorithm],
+// [RegisterDataset] and [RegisterAccelerator] add entries that become
+// addressable from scenario files and CLI flags without touching engine
+// internals (the built-ins self-register the same way; see
+// examples/custom-algorithm for a user-defined algorithm). Unknown names
+// fail validation with the list of registered names.
+//
+// Functional options refine a scenario at the call site: [WithMaxIter],
+// [WithNet], [WithGraph], [WithAlgorithm], [WithPlug],
+// [WithPartitioning], and [WithObserver], which attaches a per-superstep
+// [Observer] — frontier size, routed messages, per-bucket virtual time,
+// synchronization-skip decisions — for metrics streaming and live
+// progress. A nil observer costs nothing.
+//
+// Algorithms implement [Algorithm], the three-function GX-Plug template
+// (MSGGen / MSGMerge / MSGApply) re-exported here so external code never
+// imports internal packages.
+package gx

@@ -1,0 +1,141 @@
+package gx
+
+import (
+	"gxplug/internal/engine"
+)
+
+// runConfig collects what the functional options override.
+type runConfig struct {
+	graph    *Graph
+	alg      Algorithm
+	plugs    []PlugOptions
+	havePlug bool
+	part     *Partitioning
+	net      *Network
+	maxIter  *int
+	obs      Observer
+}
+
+func (rc *runConfig) provided() provided {
+	return provided{
+		graph: rc.graph != nil,
+		alg:   rc.alg != nil,
+		plug:  rc.havePlug,
+		net:   rc.net != nil,
+	}
+}
+
+// Option refines a Scenario at the call site with values that have no
+// declarative (JSON) form — live objects, hooks — or that override one
+// scenario field programmatically.
+type Option func(*runConfig)
+
+// WithGraph runs over a pre-built graph instead of loading the
+// scenario's dataset (the Dataset/Scale/Seed fields are not consulted).
+func WithGraph(g *Graph) Option { return func(rc *runConfig) { rc.graph = g } }
+
+// WithAlgorithm runs a concrete algorithm instance instead of building
+// the scenario's registered one (Algorithm/Params are not consulted).
+func WithAlgorithm(a Algorithm) Option { return func(rc *runConfig) { rc.alg = a } }
+
+// WithPlug supplies explicit per-node middleware options instead of the
+// scenario's accelerator profile: one entry applies to every node, n
+// entries configure n nodes individually. The scenario's Accel, GPUs,
+// Mix and Opt fields are not consulted. WithPlug() with no arguments
+// forces native execution.
+func WithPlug(plugs ...PlugOptions) Option {
+	return func(rc *runConfig) { rc.plugs, rc.havePlug = plugs, true }
+}
+
+// WithPartitioning overrides the engine's default partitioner (used by
+// the workload-balancing scenarios).
+func WithPartitioning(p *Partitioning) Option { return func(rc *runConfig) { rc.part = p } }
+
+// WithNet overrides the cluster interconnect with an explicit model
+// (the scenario's Network field is not consulted).
+func WithNet(n Network) Option { return func(rc *runConfig) { rc.net = &n } }
+
+// WithMaxIter overrides the scenario's iteration cap.
+func WithMaxIter(n int) Option { return func(rc *runConfig) { rc.maxIter = &n } }
+
+// WithObserver attaches a per-superstep observer: frontier size, routed
+// messages, per-bucket virtual time, synchronization-skip decisions. The
+// hook streams progress without changing simulated time; a nil observer
+// is free.
+func WithObserver(obs Observer) Option { return func(rc *runConfig) { rc.obs = obs } }
+
+// Run validates the scenario, resolves every registered name, builds the
+// engine configuration and executes it. Options override individual
+// pieces; everything else flows from the scenario, so a JSON file and a
+// struct literal describe identical runs.
+func Run(s Scenario, opts ...Option) (*Result, error) {
+	var rc runConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&rc)
+		}
+	}
+	s = s.WithDefaults()
+	// Accelerator profiles are resolved (and their factories invoked)
+	// exactly once, in buildConfig; validation of everything else happens
+	// up front so unrelated problems surface together.
+	have := rc.provided()
+	have.plug = true
+	if err := s.validate(have); err != nil {
+		return nil, err
+	}
+	cfg, err := buildConfig(s, &rc)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(cfg)
+}
+
+// buildConfig maps a validated, defaults-applied scenario (plus option
+// overrides) onto the engine configuration.
+func buildConfig(s Scenario, rc *runConfig) (engine.Config, error) {
+	eng, err := engineReg.lookup(s.Engine)
+	if err != nil {
+		return engine.Config{}, err
+	}
+	cfg := engine.Config{
+		Spec:         eng.Spec(),
+		Nodes:        s.Nodes,
+		MaxIter:      s.MaxIter,
+		Partitioning: rc.part,
+		Observer:     rc.obs,
+	}
+
+	g := rc.graph
+	if g == nil {
+		if g, err = LoadDataset(s.Dataset, s.Scale, s.Seed); err != nil {
+			return engine.Config{}, err
+		}
+	}
+	cfg.Graph = g
+
+	alg := rc.alg
+	if alg == nil {
+		if alg, err = NewAlgorithm(s.Algorithm, s.Params, g.NumVertices()); err != nil {
+			return engine.Config{}, err
+		}
+	}
+	cfg.Alg = alg
+
+	if rc.havePlug {
+		cfg.Plug = rc.plugs
+	} else if cfg.Plug, err = s.plugs(); err != nil {
+		return engine.Config{}, err
+	}
+
+	if rc.net != nil {
+		cfg.Net = *rc.net
+	} else if cfg.Net, err = networkReg.lookup(s.Network); err != nil {
+		return engine.Config{}, err
+	}
+
+	if rc.maxIter != nil {
+		cfg.MaxIter = *rc.maxIter
+	}
+	return cfg, nil
+}

@@ -1,0 +1,267 @@
+package gx
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Defaults applied by Scenario.WithDefaults for zero-valued fields.
+const (
+	// DefaultScale is the dataset scale divisor used across the repo.
+	DefaultScale = 1000
+	// DefaultSeed is the generator seed the CLIs and harness default to.
+	// Scenario.Seed is NOT defaulted to it: seed 0 is a valid seed and is
+	// honored as written.
+	DefaultSeed = 42
+	// DefaultNetwork is the 10GbE-class datacenter interconnect.
+	DefaultNetwork = "datacenter"
+	// DefaultAccel is native (unplugged) execution.
+	DefaultAccel = "none"
+)
+
+// Toggles switch the middleware's optimizations individually. A nil
+// *Toggles in a Scenario leaves each accelerator profile's defaults (all
+// optimizations on); a non-nil value overrides all four flags.
+type Toggles struct {
+	// Pipeline enables pipeline shuffle (§III-A).
+	Pipeline bool `json:"pipeline"`
+	// Caching enables synchronization caching + lazy uploading (§III-B2).
+	Caching bool `json:"caching"`
+	// Skipping enables synchronization skipping (§III-B3).
+	Skipping bool `json:"skipping"`
+	// OptimalBlockSize selects the Lemma 1 block count each iteration.
+	OptimalBlockSize bool `json:"optimal_block_size"`
+}
+
+// AllOptimizations returns toggles with every optimization on — what the
+// accelerator profiles default to.
+func AllOptimizations() *Toggles {
+	return &Toggles{Pipeline: true, Caching: true, Skipping: true, OptimalBlockSize: true}
+}
+
+// NoOptimizations returns toggles with every optimization off (the
+// paper's naive-integration comparison point).
+func NoOptimizations() *Toggles { return &Toggles{} }
+
+// apply overrides the optimization flags of one node's plug options.
+func (t *Toggles) apply(o *PlugOptions) {
+	o.Pipeline = t.Pipeline
+	o.Caching = t.Caching
+	o.Skipping = t.Skipping
+	o.OptimalBlockSize = t.OptimalBlockSize
+}
+
+// Scenario is the declarative description of one run. Every string field
+// resolves through a registry; the zero value of an optional field means
+// "default" (documented per field). Scenarios round-trip through JSON —
+// `gxrun -scenario file.json` and programmatic callers describe runs
+// identically — and map onto the engine configuration via Run.
+type Scenario struct {
+	// Engine names a registered upper system ("graphx", "powergraph").
+	Engine string `json:"engine"`
+	// Algorithm names a registered algorithm; Params parameterize it.
+	Algorithm string     `json:"algorithm"`
+	Params    AlgoParams `json:"params,omitzero"`
+	// Dataset names a registered dataset, generated at 1/Scale of its
+	// full size (0 → DefaultScale) with Seed. Every seed value, including
+	// 0, is honored as written (the CLIs default their -seed flag to
+	// DefaultSeed).
+	Dataset string `json:"dataset"`
+	Scale   int64  `json:"scale,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	// Nodes is the distributed cluster size.
+	Nodes int `json:"nodes"`
+	// Accel names a registered accelerator profile applied to every node
+	// ("" → "none"); GPUs is the daemon count for GPU profiles (0 → 1).
+	Accel string `json:"accel,omitempty"`
+	GPUs  int    `json:"gpus,omitempty"`
+	// Mix lists one accelerator profile per node for heterogeneous
+	// clusters; when set it must have exactly Nodes entries and overrides
+	// Accel. Native ("none") entries cannot be mixed with plugged ones.
+	Mix []string `json:"mix,omitempty"`
+	// MaxIter caps iterations on top of the algorithm's own cap (0 = no
+	// extra cap).
+	MaxIter int `json:"maxiter,omitempty"`
+	// Network names a registered interconnect ("" → "datacenter").
+	Network string `json:"network,omitempty"`
+	// Opt overrides the optimization toggles of every plugged node; nil
+	// keeps the profile defaults (all on).
+	Opt *Toggles `json:"opt,omitempty"`
+}
+
+// WithDefaults returns the scenario with zero-valued optional fields
+// replaced by their documented defaults. Run and Validate apply it
+// internally; callers only need it to inspect the effective values.
+func (s Scenario) WithDefaults() Scenario {
+	if s.Scale == 0 {
+		s.Scale = DefaultScale
+	}
+	if s.Accel == "" {
+		s.Accel = DefaultAccel
+	}
+	if s.Network == "" {
+		s.Network = DefaultNetwork
+	}
+	if s.GPUs == 0 {
+		s.GPUs = 1
+	}
+	return s
+}
+
+// Validate checks the scenario against the registries and reports every
+// problem found (joined), not just the first.
+func (s Scenario) Validate() error {
+	return s.WithDefaults().validate(provided{})
+}
+
+// provided records which scenario fields a Run call overrides with
+// functional options, so validation skips requirements the options
+// already satisfy.
+type provided struct {
+	graph bool // WithGraph: Dataset/Scale not consulted
+	alg   bool // WithAlgorithm: Algorithm/Params not consulted
+	plug  bool // WithPlug: Accel/GPUs/Mix not consulted
+	net   bool // WithNet: Network not consulted
+}
+
+// validate checks a defaults-applied scenario.
+func (s Scenario) validate(have provided) error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("scenario: "+format, args...))
+	}
+
+	if s.Nodes <= 0 {
+		fail("nodes %d (want ≥ 1)", s.Nodes)
+	}
+	if s.Scale < 1 {
+		fail("scale %d (want ≥ 1)", s.Scale)
+	}
+	if s.MaxIter < 0 {
+		fail("maxiter %d (want ≥ 0)", s.MaxIter)
+	}
+
+	if _, err := engineReg.lookup(s.Engine); err != nil {
+		errs = append(errs, err)
+	}
+	if !have.alg {
+		if def, err := algoReg.lookup(s.Algorithm); err != nil {
+			errs = append(errs, err)
+		} else if def.Check != nil {
+			if err := def.Check(s.Params); err != nil {
+				fail("algorithm %q: %v", s.Algorithm, err)
+			}
+		}
+	}
+	if !have.graph {
+		if _, err := datasetReg.lookup(s.Dataset); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if !have.plug {
+		if s.GPUs < 1 {
+			fail("gpus %d (want ≥ 1)", s.GPUs)
+		}
+		if len(s.Mix) > 0 && s.Nodes > 0 && len(s.Mix) != s.Nodes {
+			fail("mix has %d entries for %d nodes", len(s.Mix), s.Nodes)
+		} else if _, err := s.plugs(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if !have.net {
+		if _, err := networkReg.lookup(s.Network); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// plugs builds the per-node middleware options from the accelerator
+// profile (one shared entry) or the mix (one entry per node), applying
+// the scenario's optimization toggles. A nil result means native
+// execution. Mixes combining native and plugged nodes are rejected: the
+// engine plugs all nodes or none. Validate dry-runs this, which is why
+// AcceleratorDef.Plug must be a cheap, side-effect-free constructor.
+func (s Scenario) plugs() ([]PlugOptions, error) {
+	if len(s.Mix) > 0 && s.Nodes > 0 && len(s.Mix) != s.Nodes {
+		return nil, fmt.Errorf("scenario: mix has %d entries for %d nodes", len(s.Mix), s.Nodes)
+	}
+	cfg := AccelConfig{Scale: s.Scale, GPUs: s.GPUs}
+	build := func(name string) (*PlugOptions, error) {
+		def, err := accelReg.lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := def.Plug(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: accelerator %q: %w", name, err)
+		}
+		if p != nil && s.Opt != nil {
+			s.Opt.apply(p)
+		}
+		return p, nil
+	}
+
+	if len(s.Mix) == 0 {
+		p, err := build(s.Accel)
+		if err != nil || p == nil {
+			return nil, err
+		}
+		return []PlugOptions{*p}, nil
+	}
+
+	out := make([]PlugOptions, 0, len(s.Mix))
+	native := 0
+	for _, name := range s.Mix {
+		p, err := build(name)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			native++
+			continue
+		}
+		out = append(out, *p)
+	}
+	if native == len(s.Mix) {
+		return nil, nil
+	}
+	if native != 0 {
+		return nil, fmt.Errorf("scenario: mix combines native and plugged nodes (%d of %d native); plug all nodes or none", native, len(s.Mix))
+	}
+	return out, nil
+}
+
+// ParseScenario decodes a scenario from JSON. Unknown fields are errors,
+// so typos in scenario files fail loudly instead of silently defaulting.
+func ParseScenario(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("gx: parse scenario: %w", err)
+	}
+	return s, nil
+}
+
+// LoadScenario reads and decodes a scenario file.
+func LoadScenario(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("gx: load scenario: %w", err)
+	}
+	s, err := ParseScenario(data)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// JSON encodes the scenario as indented JSON. ParseScenario(s.JSON())
+// reproduces s exactly.
+func (s Scenario) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -41,6 +41,27 @@ func DefaultSources(numV int) []graph.VertexID {
 	return out
 }
 
+// Sources converts user-supplied vertex ids (e.g. from a scenario file)
+// into validated source vertices, falling back to DefaultSources when ids
+// is empty. Unlike the constructors it never panics: scenario input is
+// runtime data, not program constants.
+func Sources(ids []int64, numV int) ([]graph.VertexID, error) {
+	if numV < 1 {
+		return nil, fmt.Errorf("algos: %d vertices", numV)
+	}
+	if len(ids) == 0 {
+		return DefaultSources(numV), nil
+	}
+	out := make([]graph.VertexID, len(ids))
+	for i, id := range ids {
+		if id < 0 || id >= int64(numV) {
+			return nil, fmt.Errorf("algos: source %d outside [0, %d)", id, numV)
+		}
+		out[i] = graph.VertexID(id)
+	}
+	return out, nil
+}
+
 // Sources implements template.Sourced.
 func (s *SSSPBF) Sources() []graph.VertexID { return s.sources }
 

@@ -129,6 +129,21 @@ func V100() Spec {
 	}
 }
 
+// V100Scaled returns the V100 model with memory scaled down by the same
+// divisor as the datasets, so the paper's OOM boundaries (Fig 9b)
+// reproduce at any scale. Scale values below 1 are treated as 1.
+func V100Scaled(scale int64) Spec {
+	s := V100()
+	if scale < 1 {
+		scale = 1
+	}
+	s.MemBytes /= scale
+	if s.MemBytes < 1<<16 {
+		s.MemBytes = 1 << 16
+	}
+	return s
+}
+
 // Xeon20 models the 20-core Xeon E5-2698 v4 used as a CPU accelerator
 // ("we treat CPU in one node as an accelerator which has a 20-thread
 // multithread processing model", §V-A).

@@ -81,7 +81,46 @@ type Config struct {
 	MaxIter int
 	// Net overrides the cluster network (zero value: DatacenterNet).
 	Net cluster.NetworkSpec
+	// Observer, when non-nil, receives one SuperstepInfo after every
+	// superstep. A nil Observer costs nothing: all bookkeeping behind the
+	// report is gated on it.
+	Observer Observer
 }
+
+// SuperstepInfo is the per-superstep progress report delivered to an
+// Observer after each iteration completes. All times are virtual.
+type SuperstepInfo struct {
+	// Iteration is the zero-based iteration the report describes.
+	Iteration int
+	// Frontier is the number of active vertices entering the superstep.
+	Frontier int
+	// Messages and MessageBytes count the cross-node messages routed
+	// during the superstep (GAS charges a round's scatter to the round
+	// that produces it, exactly as the exchange volumes are charged).
+	Messages     int64
+	MessageBytes int64
+	// MirrorUpdates is the number of master→mirror attribute broadcasts
+	// (non-zero only under vertex-cut partitioning).
+	MirrorUpdates int
+	// SkippedSync reports that this superstep's global synchronization was
+	// skipped (§III-B3).
+	SkippedSync bool
+	// Changed reports whether any vertex changed; the run ends after the
+	// first superstep where it is false.
+	Changed bool
+	// Makespan is the cluster makespan so far (max over node clocks).
+	Makespan time.Duration
+	// UpperTime and MiddlewareTime are the cumulative per-bucket virtual
+	// times summed over all nodes, as of the end of the superstep.
+	UpperTime      time.Duration
+	MiddlewareTime time.Duration
+}
+
+// Observer receives per-superstep progress reports. It is called
+// synchronously from the iteration loop, after the superstep's costs have
+// been charged, so implementations see a consistent snapshot; slow
+// observers slow the host run down but can never change simulated time.
+type Observer func(SuperstepInfo)
 
 // Result is the outcome of a run.
 type Result struct {
@@ -103,7 +142,10 @@ type Result struct {
 	Cluster *cluster.Cluster
 }
 
-const bucketUpper = "upper"
+const (
+	bucketUpper      = "upper"
+	bucketMiddleware = "middleware"
+)
 
 // Run executes a full graph computation and returns the result. Results
 // are bit-compatible with the algorithm's sequential reference up to
@@ -194,6 +236,11 @@ type runner struct {
 	mirrorPer  [][]graph.VertexID
 
 	skipped int
+
+	// Observer bookkeeping, maintained only when cfg.Observer != nil.
+	obsMsgs    int64
+	obsBytes   int64
+	obsMirrors int
 }
 
 // upperSystem implements gxplug.Upper for one node: batch transfers
@@ -272,7 +319,7 @@ func (r *runner) run() (*Result, error) {
 	}
 	res.Time = r.cl.MaxTime()
 	for _, nd := range r.cl.Nodes() {
-		res.MiddlewareTime += nd.Bucket("middleware")
+		res.MiddlewareTime += nd.Bucket(bucketMiddleware)
 		res.UpperTime += nd.Bucket(bucketUpper)
 	}
 	return res, nil
@@ -363,6 +410,17 @@ func (r *runner) anyActive() bool {
 	return false
 }
 
+// frontierSize counts active vertices. Only the observer pays for it.
+func (r *runner) frontierSize() int {
+	n := 0
+	for _, a := range r.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
 func (r *runner) maxIterations() int {
 	cap := r.alg.Hints().MaxIterations
 	if r.cfg.MaxIter > 0 && (cap == 0 || r.cfg.MaxIter < cap) {
@@ -391,6 +449,7 @@ func (r *runner) loop() (int, error) {
 	hints := r.alg.Hints()
 	maxIter := r.maxIterations()
 	iter := 0
+	obs := r.cfg.Observer
 	var carry *gasCarry // GAS scatter state across rounds
 
 	for {
@@ -401,6 +460,13 @@ func (r *runner) loop() (int, error) {
 			break
 		}
 		r.ctx.Iteration = iter
+
+		var frontier, skippedBefore int
+		if obs != nil {
+			frontier = r.frontierSize()
+			skippedBefore = r.skipped
+			r.obsMsgs, r.obsBytes, r.obsMirrors = 0, 0, 0
+		}
 
 		var changedAny bool
 		var err error
@@ -414,11 +480,34 @@ func (r *runner) loop() (int, error) {
 			return iter, err
 		}
 		iter++
+		if obs != nil {
+			obs(r.superstepInfo(iter-1, frontier, skippedBefore, changedAny))
+		}
 		if !changedAny {
 			break
 		}
 	}
 	return iter, nil
+}
+
+// superstepInfo assembles the observer report for the superstep that just
+// finished.
+func (r *runner) superstepInfo(iter, frontier, skippedBefore int, changed bool) SuperstepInfo {
+	info := SuperstepInfo{
+		Iteration:     iter,
+		Frontier:      frontier,
+		Messages:      r.obsMsgs,
+		MessageBytes:  r.obsBytes,
+		MirrorUpdates: r.obsMirrors,
+		SkippedSync:   r.skipped > skippedBefore,
+		Changed:       changed,
+		Makespan:      r.cl.MaxTime(),
+	}
+	for _, nd := range r.cl.Nodes() {
+		info.UpperTime += nd.Bucket(bucketUpper)
+		info.MiddlewareTime += nd.Bucket(bucketMiddleware)
+	}
+	return info
 }
 
 // nextInbox hands out the next reusable dense inbox set (one Inbox per

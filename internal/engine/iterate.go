@@ -55,9 +55,15 @@ func (r *runner) genPhase() ([]*gxplug.GenResult, error) {
 func (r *runner) routeRemote(results []*gxplug.GenResult, inbox []*gxplug.Inbox, vol [][]int64) {
 	msgBytes := int64(float64(8*r.mw+4) * r.cfg.Spec.MsgByteFactor)
 	owner := r.part.Owner
+	observing := r.cfg.Observer != nil
 	for j, res := range results {
 		if res == nil {
 			continue
+		}
+		if observing {
+			n := int64(res.Remote.Len())
+			r.obsMsgs += n
+			r.obsBytes += n * msgBytes
 		}
 		volJ := vol[j]
 		res.Remote.Each(func(id graph.VertexID, msg []float64) {
@@ -128,6 +134,9 @@ func (r *runner) mergeApplyPhase(results []*gxplug.GenResult, inbox []*gxplug.In
 func (r *runner) distributeMirrors(mirrorUpdates []graph.VertexID, vol [][]int64) {
 	if len(mirrorUpdates) == 0 {
 		return
+	}
+	if r.cfg.Observer != nil {
+		r.obsMirrors += len(mirrorUpdates)
 	}
 	rowBytes := int64(float64(8*r.aw+4) * r.cfg.Spec.MsgByteFactor)
 	perNode := make([][]graph.VertexID, r.cfg.Nodes)

@@ -282,6 +282,12 @@ func AllDatasets() []Dataset {
 	return []Dataset{Orkut, WikiTopcats, LiveJournal, WRN, Twitter, UK2007}
 }
 
+// Datasets lists every loadable dataset: the Table I rows plus the
+// synthetic graph of Fig 11. Everything here is accepted by Load.
+func Datasets() []Dataset {
+	return append(AllDatasets(), Syn4m)
+}
+
 // Info describes a catalog entry.
 type Info struct {
 	Name Dataset

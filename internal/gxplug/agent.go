@@ -94,6 +94,25 @@ func DefaultOptions() Options {
 	}
 }
 
+// GPUOptions returns DefaultOptions with n memory-scaled V100 daemons —
+// the standard accelerated configuration of the evaluation, shared by
+// the public gx profiles and the harness.
+func GPUOptions(scale int64, n int) Options {
+	o := DefaultOptions()
+	o.Devices = nil
+	for i := 0; i < n; i++ {
+		o.Devices = append(o.Devices, device.V100Scaled(scale))
+	}
+	return o
+}
+
+// CPUOptions returns DefaultOptions with one CPU accelerator.
+func CPUOptions() Options {
+	o := DefaultOptions()
+	o.Devices = []device.Spec{device.Xeon20()}
+	return o
+}
+
 // Stats aggregates one agent's activity.
 type Stats struct {
 	Entities      int64 // triplets processed (d, for the Fig 15 sweep)

@@ -16,8 +16,8 @@ func TestOutboxOverflowMatchesDense(t *testing.T) {
 	mw := alg.MsgWidth()
 	rng := rand.New(rand.NewSource(11))
 
-	full := NewOutbox(alg, 100, mw)  // every id dense
-	tiny := NewOutbox(alg, 10, mw)   // ids >= 10 overflow
+	full := NewOutbox(alg, 100, mw) // every id dense
+	tiny := NewOutbox(alg, 10, mw)  // ids >= 10 overflow
 	for round := 0; round < 3; round++ {
 		full.Reset(alg)
 		tiny.Reset(alg)

@@ -169,17 +169,20 @@ func (r *Fig8Result) Speedup(d gen.Dataset, algo string, sys Fig8System) float64
 // String renders one block per dataset, matching the Fig 8 subfigures.
 func (r *Fig8Result) String() string {
 	var b strings.Builder
-	for _, d := range Fig8Datasets() {
-		any := false
-		for _, c := range r.Cells {
-			if c.Dataset == d {
-				any = true
-				break
-			}
+	// Render the datasets actually present, in first-appearance order, so
+	// runs restricted to non-canonical datasets (gxbench -dataset) still
+	// print.
+	var datasets []gen.Dataset
+	for _, c := range r.Cells {
+		seen := false
+		for _, d := range datasets {
+			seen = seen || d == c.Dataset
 		}
-		if !any {
-			continue
+		if !seen {
+			datasets = append(datasets, c.Dataset)
 		}
+	}
+	for _, d := range datasets {
 		header(&b, fmt.Sprintf("Fig 8: CompTime(s) @ %s", d),
 			"System", "LP", "SSSP-BF", "PageRank")
 		for _, sys := range Fig8Systems() {

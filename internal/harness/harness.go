@@ -54,32 +54,16 @@ func (o Options) Validate() error {
 
 // ScaledV100 returns the V100 model with memory scaled down with the
 // datasets, so the paper's OOM boundaries (Fig 9b) reproduce at any
-// scale.
-func ScaledV100(scale int64) device.Spec {
-	s := device.V100()
-	s.MemBytes = s.MemBytes / scale
-	if s.MemBytes < 1<<16 {
-		s.MemBytes = 1 << 16
-	}
-	return s
-}
+// scale. It is the device catalog's model; kept here as a harness alias.
+func ScaledV100(scale int64) device.Spec { return device.V100Scaled(scale) }
 
-// GPUPlug returns default middleware options with n scaled GPUs.
-func GPUPlug(scale int64, n int) gxplug.Options {
-	o := gxplug.DefaultOptions()
-	o.Devices = nil
-	for i := 0; i < n; i++ {
-		o.Devices = append(o.Devices, ScaledV100(scale))
-	}
-	return o
-}
+// GPUPlug returns default middleware options with n scaled GPUs — the
+// shared middleware profile, re-exported for the experiment runners.
+func GPUPlug(scale int64, n int) gxplug.Options { return gxplug.GPUOptions(scale, n) }
 
-// CPUPlug returns default middleware options with one CPU accelerator.
-func CPUPlug() gxplug.Options {
-	o := gxplug.DefaultOptions()
-	o.Devices = []device.Spec{device.Xeon20()}
-	return o
-}
+// CPUPlug returns default middleware options with one CPU accelerator —
+// the shared middleware profile, re-exported for the experiment runners.
+func CPUPlug() gxplug.Options { return gxplug.CPUOptions() }
 
 // NodesForGPUs maps a GPU count onto cluster nodes with two GPUs per node,
 // the paper's testbed shape (6 physical nodes × 2 V100s).
