@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build examples test test-full race ci bench
+.PHONY: all fmt vet build examples test test-full race race-boundedcache ci bench
 
 all: ci
 
@@ -34,7 +34,14 @@ test-full:
 race:
 	GOMAXPROCS=8 $(GO) test -short -race ./...
 
-ci: fmt vet build examples race
+# The bounded-cache determinism guarantee (dirty evictions spilled to the
+# serialized phase boundary) is the one place agents could write shared
+# engine state mid-phase; keep it pinned under the race detector even if
+# the broader race target is ever narrowed.
+race-boundedcache:
+	GOMAXPROCS=8 $(GO) test -race -short -run 'TestBoundedCache' ./internal/engine
+
+ci: fmt vet build examples race race-boundedcache
 
 # Record the engine superstep microbenchmarks (latency + allocs) in
 # BENCH_engine.json.

@@ -66,6 +66,9 @@ func experiments(fig8Datasets []gen.Dataset) []experiment {
 		{"fig11b", "Fig 11b: synchronization skipping", func(o harness.Options) (fmt.Stringer, error) {
 			return harness.Fig11b(o)
 		}},
+		{"cachecap", "Fig 11a-adjacent: runtime & hit rate vs cache capacity", func(o harness.Options) (fmt.Stringer, error) {
+			return harness.CacheCapSweep(o)
+		}},
 		{"fig12a", "Fig 12a: balancing under fixed hardware", func(o harness.Options) (fmt.Stringer, error) {
 			return harness.Fig12a(o)
 		}},

@@ -8,9 +8,13 @@
 //	gxrun -engine graphx -algo sssp -dataset wrn -nodes 4 -accel cpu
 //	gxrun -scenario testdata/pagerank-pg-4n.json
 //	gxrun -algo sssp -dataset wrn -progress      # one line per superstep
+//	gxrun -algo pagerank -cachecap 64            # bounded LRU sync cache
 //
-// Unknown -engine/-algo/-dataset/-accel values fail with the list of
-// registered names; gx.Register* extends those lists.
+// -cachecap bounds each agent's synchronization cache to that many rows
+// (0 = the node's full vertex table); it models memory-constrained
+// agents and changes boundary traffic, never results. Unknown
+// -engine/-algo/-dataset/-accel values fail with the list of registered
+// names; gx.Register* extends those lists.
 package main
 
 import (
@@ -57,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		accel        = fs.String("accel", "gpu", "accelerator profile: "+strings.Join(gx.Accelerators(), " | "))
 		gpus         = fs.Int("gpus", 1, "GPU daemons per node when -accel gpu")
 		maxIter      = fs.Int("maxiter", 0, "iteration cap (0 = algorithm default)")
+		cacheCap     = fs.Int("cachecap", 0, "synchronization cache capacity in rows per agent (0 = full vertex table; needs caching on)")
 		k            = fs.Int("k", 0, "k for -algo kcore / hop bound for -algo bfs (0 = default)")
 		network      = fs.String("net", gx.DefaultNetwork, "network: "+strings.Join(gx.Networks(), " | "))
 		noOpt        = fs.Bool("no-opt", false, "disable pipeline/caching/skipping optimizations")
@@ -77,17 +82,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	} else {
 		s = gx.Scenario{
-			Engine:    *engineName,
-			Algorithm: *algoName,
-			Params:    gx.AlgoParams{K: *k},
-			Dataset:   *dataset,
-			Scale:     *scale,
-			Seed:      *seed,
-			Nodes:     *nodes,
-			Accel:     *accel,
-			GPUs:      *gpus,
-			MaxIter:   *maxIter,
-			Network:   *network,
+			Engine:        *engineName,
+			Algorithm:     *algoName,
+			Params:        gx.AlgoParams{K: *k},
+			Dataset:       *dataset,
+			Scale:         *scale,
+			Seed:          *seed,
+			Nodes:         *nodes,
+			Accel:         *accel,
+			GPUs:          *gpus,
+			MaxIter:       *maxIter,
+			CacheCapacity: *cacheCap,
+			Network:       *network,
 		}
 		if *noOpt {
 			s.Opt = gx.NoOptimizations()
@@ -137,16 +143,19 @@ func report(w io.Writer, s gx.Scenario, g *gx.Graph, res *gx.Result) {
 		total := res.MiddlewareTime + res.UpperTime
 		fmt.Fprintf(w, "  middleware  : %v (%.0f%% of node time)\n",
 			res.MiddlewareTime, 100*float64(res.MiddlewareTime)/float64(total))
-		var entities, blocks, hits, misses int64
+		var entities, blocks, hits, misses, evictions, spills int64
 		for _, as := range res.AgentStats {
 			entities += as.Entities
 			blocks += as.Blocks
 			hits += as.CacheHits
 			misses += as.CacheMisses
+			evictions += as.CacheEvictions
+			spills += as.DirtySpills
 		}
 		fmt.Fprintf(w, "  entities    : %d in %d blocks\n", entities, blocks)
 		if hits+misses > 0 {
-			fmt.Fprintf(w, "  cache       : %.0f%% hit rate\n", 100*float64(hits)/float64(hits+misses))
+			fmt.Fprintf(w, "  cache       : %.0f%% hit rate, %d evictions (%d dirty spills)\n",
+				100*float64(hits)/float64(hits+misses), evictions, spills)
 		}
 	}
 	var sum float64

@@ -33,6 +33,40 @@ func TestScenarioFileMatchesFlags(t *testing.T) {
 	}
 }
 
+// TestCacheCapScenarioMatchesFlags extends the golden fixture to the
+// bounded-cache dimension: a scenario file carrying cache_capacity and
+// the equivalent -cachecap flag invocation must print byte-identical
+// reports, and the bound must surface in the cache line (evictions).
+func TestCacheCapScenarioMatchesFlags(t *testing.T) {
+	var fromFile, fromFlags bytes.Buffer
+	if err := run([]string{"-scenario", "testdata/pagerank-pg-4n-cachecap.json"}, &fromFile, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"-engine", "powergraph", "-algo", "pagerank", "-dataset", "orkut",
+		"-scale", "4000", "-seed", "42", "-nodes", "4",
+		"-accel", "gpu", "-gpus", "1", "-maxiter", "10", "-cachecap", "32",
+	}, &fromFlags, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.String() != fromFlags.String() {
+		t.Fatalf("cachecap scenario file and flags disagree:\n--- scenario\n%s--- flags\n%s",
+			fromFile.String(), fromFlags.String())
+	}
+	if !strings.Contains(fromFile.String(), "evictions") {
+		t.Fatalf("bounded-cache report missing eviction stats:\n%s", fromFile.String())
+	}
+}
+
+// TestCacheCapRejectsNativeRuns: bounding a cache that does not exist
+// (native execution) is a loud validation error, not a silent no-op.
+func TestCacheCapRejectsNativeRuns(t *testing.T) {
+	err := run([]string{"-accel", "none", "-cachecap", "64"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "cache_capacity") {
+		t.Fatalf("native -cachecap accepted: %v", err)
+	}
+}
+
 // TestUnknownNamesListRegistered checks the registry-driven error
 // surface: a typo in any registrable flag fails with the registered
 // names, not a silent default or a bare failure.

@@ -4,10 +4,10 @@
 // implementation; new workloads, sweeps, and services build against gx.
 //
 // A run is described by a [Scenario] — engine, algorithm and parameters,
-// dataset and scale, node count, accelerator mix, network, and
-// optimization toggles — which validates itself, round-trips through
-// JSON (`gxrun -scenario file.json` and programmatic callers describe
-// runs identically), and is executed by [Run]:
+// dataset and scale, node count, accelerator mix, network, cache
+// capacity, and optimization toggles — which validates itself,
+// round-trips through JSON (`gxrun -scenario file.json` and programmatic
+// callers describe runs identically), and is executed by [Run]:
 //
 //	res, err := gx.Run(gx.Scenario{
 //	    Engine:    "powergraph",
@@ -32,6 +32,17 @@
 // [Observer] — frontier size, routed messages, per-bucket virtual time,
 // synchronization-skip decisions — for metrics streaming and live
 // progress. A nil observer costs nothing.
+//
+// The scenario's cache_capacity field bounds each agent's LRU
+// synchronization cache to a fixed number of attribute rows (0 sizes it
+// to the node's vertex table — effectively unbounded), modelling
+// memory-constrained agents. Bounding the cache changes boundary
+// traffic, never results: dirty rows evicted mid-phase are spilled and
+// uploaded at serialized phase boundaries, so bounded runs stay
+// bit-identical to unbounded ones and deterministic under the parallel
+// superstep executor. The observer reports per-superstep cache hits,
+// misses, evictions, and dirty spills, making the hit-rate/capacity
+// trade-off (Fig 11a-adjacent; `gxbench -exp cachecap`) observable.
 //
 // Algorithms implement [Algorithm], the three-function GX-Plug template
 // (MSGGen / MSGMerge / MSGApply) re-exported here so external code never

@@ -99,11 +99,12 @@ func buildConfig(s Scenario, rc *runConfig) (engine.Config, error) {
 		return engine.Config{}, err
 	}
 	cfg := engine.Config{
-		Spec:         eng.Spec(),
-		Nodes:        s.Nodes,
-		MaxIter:      s.MaxIter,
-		Partitioning: rc.part,
-		Observer:     rc.obs,
+		Spec:          eng.Spec(),
+		Nodes:         s.Nodes,
+		MaxIter:       s.MaxIter,
+		CacheCapacity: s.CacheCapacity,
+		Partitioning:  rc.part,
+		Observer:      rc.obs,
 	}
 
 	g := rc.graph

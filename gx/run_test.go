@@ -189,6 +189,58 @@ func TestRunWithOptionsOverrides(t *testing.T) {
 	}
 }
 
+// TestCacheCapacityScenario runs the same scenario bounded and
+// unbounded: the bound must drive real evictions and dirty spills yet
+// leave results bit-identical — capacity is a cost dimension, not a
+// semantic one.
+func TestCacheCapacityScenario(t *testing.T) {
+	s := Scenario{
+		Engine:    "powergraph",
+		Algorithm: "pagerank",
+		Dataset:   "orkut",
+		Scale:     20000,
+		Nodes:     2,
+		Accel:     "cpu",
+		MaxIter:   6,
+	}
+	unbounded, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := LoadDataset(s.Dataset, s.Scale, s.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CacheCapacity = g.NumVertices() / 8 / s.Nodes // ~1/8 of a node's table
+	if err := s.Validate(); err != nil {
+		t.Fatalf("bounded scenario rejected: %v", err)
+	}
+	bounded, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var evictions, spills int64
+	for _, as := range bounded.AgentStats {
+		evictions += as.CacheEvictions
+		spills += as.DirtySpills
+	}
+	if evictions == 0 || spills == 0 {
+		t.Fatalf("cache_capacity %d drove no evictions (%d) or spills (%d)",
+			s.CacheCapacity, evictions, spills)
+	}
+	if bounded.Iterations != unbounded.Iterations {
+		t.Fatalf("bound changed iterations: %d vs %d", bounded.Iterations, unbounded.Iterations)
+	}
+	for i := range bounded.Attrs {
+		if bounded.Attrs[i] != unbounded.Attrs[i] {
+			t.Fatalf("bounded cache changed attrs at %d: %v vs %v",
+				i, bounded.Attrs[i], unbounded.Attrs[i])
+		}
+	}
+}
+
 // TestRunUnknownNamesError: Run surfaces registry errors listing the
 // registered names.
 func TestRunUnknownNamesError(t *testing.T) {

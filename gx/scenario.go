@@ -85,6 +85,15 @@ type Scenario struct {
 	// MaxIter caps iterations on top of the algorithm's own cap (0 = no
 	// extra cap).
 	MaxIter int `json:"maxiter,omitempty"`
+	// CacheCapacity bounds each agent's synchronization cache to that
+	// many attribute rows (0 = size the cache to the node's full vertex
+	// table, the common deployment). The cache is LRU; dirty evictions
+	// are spilled and uploaded at serialized phase boundaries, so a
+	// bounded run produces results bit-identical to the unbounded one
+	// while trading boundary traffic for memory. Only meaningful with
+	// caching enabled: it requires an accelerator profile and rejects
+	// Opt.Caching == false.
+	CacheCapacity int `json:"cache_capacity,omitempty"`
 	// Network names a registered interconnect ("" → "datacenter").
 	Network string `json:"network,omitempty"`
 	// Opt overrides the optimization toggles of every plugged node; nil
@@ -143,6 +152,9 @@ func (s Scenario) validate(have provided) error {
 	if s.MaxIter < 0 {
 		fail("maxiter %d (want ≥ 0)", s.MaxIter)
 	}
+	if s.CacheCapacity < 0 {
+		fail("cache_capacity %d (want ≥ 0)", s.CacheCapacity)
+	}
 
 	if _, err := engineReg.lookup(s.Engine); err != nil {
 		errs = append(errs, err)
@@ -167,8 +179,22 @@ func (s Scenario) validate(have provided) error {
 		}
 		if len(s.Mix) > 0 && s.Nodes > 0 && len(s.Mix) != s.Nodes {
 			fail("mix has %d entries for %d nodes", len(s.Mix), s.Nodes)
-		} else if _, err := s.plugs(); err != nil {
+		} else if ps, err := s.plugs(); err != nil {
 			errs = append(errs, err)
+		} else if s.CacheCapacity > 0 {
+			// The bound only means something when there is a cache to
+			// bound: a plugged run with caching on.
+			if ps == nil {
+				fail("cache_capacity %d requires an accelerator (native execution has no synchronization cache)", s.CacheCapacity)
+			} else {
+				caching := false
+				for _, p := range ps {
+					caching = caching || p.Caching
+				}
+				if !caching {
+					fail("cache_capacity %d with caching disabled", s.CacheCapacity)
+				}
+			}
 		}
 	}
 	if !have.net {

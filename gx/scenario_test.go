@@ -62,6 +62,12 @@ func TestValidateErrors(t *testing.T) {
 			[]string{"hop bound -3"}},
 		{"negative source", func(s *Scenario) { s.Algorithm = "sssp"; s.Params.Sources = []int64{0, -7} },
 			[]string{"source -7"}},
+		{"negative cache capacity", func(s *Scenario) { s.CacheCapacity = -3 },
+			[]string{"cache_capacity -3"}},
+		{"cache capacity without accelerator", func(s *Scenario) { s.Accel = "none"; s.CacheCapacity = 64 },
+			[]string{"cache_capacity 64", "accelerator"}},
+		{"cache capacity with caching off", func(s *Scenario) { s.Opt = NoOptimizations(); s.CacheCapacity = 64 },
+			[]string{"cache_capacity 64", "caching disabled"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -98,18 +104,19 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 		valid(),
 		{}, // zero value
 		{
-			Engine:    "graphx",
-			Algorithm: "sssp",
-			Params:    AlgoParams{K: 5, Sources: []int64{0, 9, 42}},
-			Dataset:   "wrn",
-			Scale:     500,
-			Seed:      7,
-			Nodes:     6,
-			Accel:     "gpu",
-			GPUs:      2,
-			MaxIter:   12,
-			Network:   "hpc",
-			Opt:       &Toggles{Pipeline: true, Skipping: true},
+			Engine:        "graphx",
+			Algorithm:     "sssp",
+			Params:        AlgoParams{K: 5, Sources: []int64{0, 9, 42}},
+			Dataset:       "wrn",
+			Scale:         500,
+			Seed:          7,
+			Nodes:         6,
+			Accel:         "gpu",
+			GPUs:          2,
+			MaxIter:       12,
+			CacheCapacity: 128,
+			Network:       "hpc",
+			Opt:           &Toggles{Pipeline: true, Skipping: true},
 		},
 		{
 			Engine:    "powergraph",

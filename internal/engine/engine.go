@@ -79,6 +79,13 @@ type Config struct {
 	Plug []gxplug.Options
 	// MaxIter caps iterations on top of the algorithm's own cap.
 	MaxIter int
+	// CacheCapacity, when > 0, bounds every plugged agent's
+	// synchronization cache to that many rows, overriding the per-node
+	// Plug option (0 leaves each option as written; an option's own zero
+	// sizes the cache to the node's vertex table). Dirty rows evicted by
+	// a bounded cache are spilled and uploaded at serialized phase
+	// boundaries, so results stay bit-identical to the unbounded run.
+	CacheCapacity int
 	// Net overrides the cluster network (zero value: DatacenterNet).
 	Net cluster.NetworkSpec
 	// Observer, when non-nil, receives one SuperstepInfo after every
@@ -105,6 +112,16 @@ type SuperstepInfo struct {
 	// SkippedSync reports that this superstep's global synchronization was
 	// skipped (§III-B3).
 	SkippedSync bool
+	// CacheHits, CacheMisses, CacheEvictions and CacheDirtySpills count
+	// the synchronization-cache activity of this superstep, summed over
+	// all agents (all zero on native runs). CacheEvictions counts every
+	// cache departure — remote invalidations included, so it is non-zero
+	// even for unbounded caches under vertex-cut partitioning; dirty
+	// spills occur only with bounded caches (see Config.CacheCapacity).
+	CacheHits        int64
+	CacheMisses      int64
+	CacheEvictions   int64
+	CacheDirtySpills int64
 	// Changed reports whether any vertex changed; the run ends after the
 	// first superstep where it is false.
 	Changed bool
@@ -165,6 +182,9 @@ func newRunner(cfg Config) (*runner, error) {
 	}
 	if cfg.Graph == nil || cfg.Alg == nil {
 		return nil, fmt.Errorf("engine: nil graph or algorithm")
+	}
+	if cfg.CacheCapacity < 0 {
+		return nil, fmt.Errorf("engine: cache capacity %d (want ≥ 0)", cfg.CacheCapacity)
 	}
 	g, alg := cfg.Graph, cfg.Alg
 	part := cfg.Partitioning
@@ -241,6 +261,28 @@ type runner struct {
 	obsMsgs    int64
 	obsBytes   int64
 	obsMirrors int
+	// obsCache is the cumulative cache-counter snapshot taken before the
+	// superstep; superstepInfo reports the delta.
+	obsCache cacheCounters
+}
+
+// cacheCounters aggregates the cache activity of all agents.
+type cacheCounters struct {
+	hits, misses, evictions, spills int64
+}
+
+// cacheCounters sums the agents' cumulative cache counters (zero when
+// native). Only the observer path pays for it.
+func (r *runner) cacheCounters() cacheCounters {
+	var c cacheCounters
+	for _, a := range r.agents {
+		s := a.Stats()
+		c.hits += s.CacheHits
+		c.misses += s.CacheMisses
+		c.evictions += s.CacheEvictions
+		c.spills += s.DirtySpills
+	}
+	return c
 }
 
 // upperSystem implements gxplug.Upper for one node: batch transfers
@@ -284,14 +326,19 @@ func (u *upperSystem) FetchMessages(count int, bytes int64) time.Duration {
 }
 
 func (r *runner) plugFor(node int) (gxplug.Options, bool) {
+	var o gxplug.Options
 	switch len(r.cfg.Plug) {
 	case 0:
-		return gxplug.Options{}, false
+		return o, false
 	case 1:
-		return r.cfg.Plug[0], true
+		o = r.cfg.Plug[0]
 	default:
-		return r.cfg.Plug[node], true
+		o = r.cfg.Plug[node]
 	}
+	if r.cfg.CacheCapacity > 0 {
+		o.CacheCapacity = r.cfg.CacheCapacity
+	}
+	return o, true
 }
 
 func (r *runner) run() (*Result, error) {
@@ -466,6 +513,7 @@ func (r *runner) loop() (int, error) {
 			frontier = r.frontierSize()
 			skippedBefore = r.skipped
 			r.obsMsgs, r.obsBytes, r.obsMirrors = 0, 0, 0
+			r.obsCache = r.cacheCounters()
 		}
 
 		var changedAny bool
@@ -493,15 +541,20 @@ func (r *runner) loop() (int, error) {
 // superstepInfo assembles the observer report for the superstep that just
 // finished.
 func (r *runner) superstepInfo(iter, frontier, skippedBefore int, changed bool) SuperstepInfo {
+	cc := r.cacheCounters()
 	info := SuperstepInfo{
-		Iteration:     iter,
-		Frontier:      frontier,
-		Messages:      r.obsMsgs,
-		MessageBytes:  r.obsBytes,
-		MirrorUpdates: r.obsMirrors,
-		SkippedSync:   r.skipped > skippedBefore,
-		Changed:       changed,
-		Makespan:      r.cl.MaxTime(),
+		Iteration:        iter,
+		Frontier:         frontier,
+		Messages:         r.obsMsgs,
+		MessageBytes:     r.obsBytes,
+		MirrorUpdates:    r.obsMirrors,
+		SkippedSync:      r.skipped > skippedBefore,
+		CacheHits:        cc.hits - r.obsCache.hits,
+		CacheMisses:      cc.misses - r.obsCache.misses,
+		CacheEvictions:   cc.evictions - r.obsCache.evictions,
+		CacheDirtySpills: cc.spills - r.obsCache.spills,
+		Changed:          changed,
+		Makespan:         r.cl.MaxTime(),
 	}
 	for _, nd := range r.cl.Nodes() {
 		info.UpperTime += nd.Bucket(bucketUpper)

@@ -127,6 +127,22 @@ func (r *runner) mergeApplyPhase(results []*gxplug.GenResult, inbox []*gxplug.In
 	return changedAny, mirrorUpdates, nil
 }
 
+// drainSpills uploads the dirty rows bounded caches evicted during the
+// preceding parallel phase. It runs serialized, immediately after each
+// phase's worker-pool fan-in, so the upper system's shared state is never
+// written while nodes execute concurrently; each agent's upload cost
+// lands on its own node's virtual clock, keeping makespans independent of
+// host scheduling. It must precede distributeMirrors/syncPhase: their
+// reads of authoritative state expect pending spills to have landed.
+func (r *runner) drainSpills() {
+	if r.agents == nil {
+		return
+	}
+	for _, a := range r.agents {
+		a.DrainSpill()
+	}
+}
+
 // distributeMirrors delivers updated master attributes to every replica
 // holder (vertex-cut only): exchange volumes are added to vol and agent
 // caches are invalidated with the fresh rows. It must run before the next
@@ -245,6 +261,7 @@ func (r *runner) iterateBSP() (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	r.drainSpills()
 	inbox := r.nextInbox()
 	vol := r.resetVol()
 	r.routeRemote(results, inbox, vol)
@@ -252,6 +269,7 @@ func (r *runner) iterateBSP() (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	r.drainSpills()
 	r.distributeMirrors(mirrorUpdates, vol)
 	r.syncPhase(vol)
 	return changedAny, nil
@@ -276,6 +294,7 @@ func (r *runner) iterateGAS(carry *gasCarry) (bool, *gasCarry, error) {
 		if err != nil {
 			return false, nil, err
 		}
+		r.drainSpills()
 		inbox := r.nextInbox()
 		r.routeRemote(results, inbox, vol)
 		carry = &gasCarry{results: results, inbox: inbox}
@@ -284,6 +303,7 @@ func (r *runner) iterateGAS(carry *gasCarry) (bool, *gasCarry, error) {
 	if err != nil {
 		return false, nil, err
 	}
+	r.drainSpills()
 	// Mirrors must see the applied state before the scatter reads them.
 	r.distributeMirrors(mirrorUpdates, vol)
 	var next *gasCarry
@@ -292,6 +312,7 @@ func (r *runner) iterateGAS(carry *gasCarry) (bool, *gasCarry, error) {
 		if err != nil {
 			return false, nil, err
 		}
+		r.drainSpills()
 		inbox := r.nextInbox()
 		r.routeRemote(results, inbox, vol)
 		next = &gasCarry{results: results, inbox: inbox}

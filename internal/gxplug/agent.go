@@ -115,14 +115,25 @@ func CPUOptions() Options {
 
 // Stats aggregates one agent's activity.
 type Stats struct {
-	Entities      int64 // triplets processed (d, for the Fig 15 sweep)
-	Blocks        int64
-	Iterations    int64
-	DeviceTime    time.Duration
-	BoundaryTime  time.Duration
-	PipelineTime  time.Duration
-	CacheHits     int64
-	CacheMisses   int64
+	Entities     int64 // triplets processed (d, for the Fig 15 sweep)
+	Blocks       int64
+	Iterations   int64
+	DeviceTime   time.Duration
+	BoundaryTime time.Duration
+	PipelineTime time.Duration
+	CacheHits    int64
+	CacheMisses  int64
+	// CacheEvictions and CacheDirtyEvictions count entries dropped from
+	// the synchronization cache (capacity evictions and invalidations);
+	// CacheInvalidations is the invalidation subset, so CacheEvictions -
+	// CacheInvalidations isolates capacity pressure (zero unbounded).
+	CacheEvictions      int64
+	CacheDirtyEvictions int64
+	CacheInvalidations  int64
+	// DirtySpills counts dirty rows queued for upload by capacity
+	// evictions; the queue drains at the next serialized phase boundary
+	// (DrainSpill), never from inside a parallel phase.
+	DirtySpills   int64
 	LazySkipped   int64 // uploads deferred by lazy uploading
 	PushedRows    int64
 	DeviceInit    time.Duration
@@ -198,6 +209,16 @@ type Agent struct {
 	// authoritative state (used when caching is off to avoid refetching
 	// within an iteration, and reset on remote updates).
 	fresh []bool
+
+	// The dirty-eviction spill queue: rows a bounded cache evicted while
+	// still dirty, waiting to be uploaded at the next serialized phase
+	// boundary (DrainSpill). Uploading from inside cachePut would write
+	// the upper system's shared state mid-phase while the engine's worker
+	// pool runs nodes concurrently. spillIdx dedups by vertex so a
+	// re-evicted row keeps only its latest value.
+	spillIDs  []graph.VertexID
+	spillRows []float64 // dense, len(spillIDs)*AttrWidth
+	spillIdx  map[graph.VertexID]int
 
 	// prevRows and prevBlockEdges remember the previous iteration's block
 	// plan for topology-residency detection; prevBlocks caches the built
@@ -306,6 +327,9 @@ func (a *Agent) Stats() Stats {
 		cs := a.cache.Stats()
 		a.stats.CacheHits = cs.Hits
 		a.stats.CacheMisses = cs.Misses
+		a.stats.CacheEvictions = cs.Evictions
+		a.stats.CacheDirtyEvictions = cs.DirtyEvictions
+		a.stats.CacheInvalidations = cs.Invalidations
 	}
 	return a.stats
 }
@@ -428,18 +452,74 @@ func (a *Agent) partitionFootprint() int64 {
 	return int64(a.et.Len())*tripletBytes + int64(a.vt.Len())*int64(4+8*a.alg.AttrWidth())
 }
 
-// cachePut inserts a row, forwarding any dirty eviction to the upper
-// system immediately (the §III-B2a eviction rule). It returns the upload
-// cost incurred.
-func (a *Agent) cachePut(id graph.VertexID, row []float64) time.Duration {
-	ev, evicted := a.cache.Put(id, row)
-	if evicted && ev.Dirty {
-		cost := a.upper.PushAttrs([]graph.VertexID{ev.ID}, ev.Row)
-		a.stats.PushedRows++
-		a.stats.BoundaryTime += cost
-		return cost
+// cachePut inserts an authoritative row into the cache. A dirty eviction
+// (the §III-B2a rule: "if the chosen vertices were updated in previous
+// iterations, corresponding information will be uploaded") is queued on
+// the spill queue instead of being pushed to the upper system here:
+// cachePut runs inside the parallel gen/apply phases, where a mid-phase
+// PushAttrs would race with other nodes' reads of the shared
+// authoritative state. DrainSpill performs the upload at the next
+// serialized phase boundary.
+func (a *Agent) cachePut(id graph.VertexID, row []float64) {
+	pr := a.cache.Put(id, row)
+	if pr.DidEvict && pr.Evicted.Dirty {
+		a.spill(pr.Evicted.ID, pr.Evicted.Row)
 	}
-	return 0
+}
+
+// spill queues one dirty evicted row for upload at the phase boundary,
+// keeping only the latest value per vertex.
+func (a *Agent) spill(id graph.VertexID, row []float64) {
+	aw := a.alg.AttrWidth()
+	a.stats.DirtySpills++
+	if i, ok := a.spillIdx[id]; ok {
+		copy(a.spillRows[i*aw:(i+1)*aw], row)
+		return
+	}
+	if a.spillIdx == nil {
+		a.spillIdx = make(map[graph.VertexID]int)
+	}
+	a.spillIdx[id] = len(a.spillIDs)
+	a.spillIDs = append(a.spillIDs, id)
+	a.spillRows = append(a.spillRows, row...)
+}
+
+// spillRow returns the pending spilled value for id, if any. Until the
+// queue drains, the spilled row — not the upper system's copy — is the
+// authoritative value of the vertex: an eagerly-uploading implementation
+// would already have pushed it.
+func (a *Agent) spillRow(id graph.VertexID) ([]float64, bool) {
+	i, ok := a.spillIdx[id]
+	if !ok {
+		return nil, false
+	}
+	aw := a.alg.AttrWidth()
+	return a.spillRows[i*aw : (i+1)*aw], true
+}
+
+// DrainSpill uploads every dirty row the cache evicted since the last
+// drain, in eviction order, as one batch. The engine calls it at
+// serialized phase boundaries (alongside the lazy-upload machinery), so
+// the upper system's state is only ever written while node execution is
+// serialized; the cost is charged to this node's virtual clock. It
+// returns the number of rows uploaded.
+func (a *Agent) DrainSpill() int {
+	if len(a.spillIDs) == 0 {
+		return 0
+	}
+	n := len(a.spillIDs)
+	cost := a.upper.PushAttrs(a.spillIDs, a.spillRows)
+	a.stats.BoundaryTime += cost
+	a.stats.PushedRows += int64(n)
+	a.charge(cost)
+	a.clearSpill()
+	return n
+}
+
+func (a *Agent) clearSpill() {
+	a.spillIDs = a.spillIDs[:0]
+	a.spillRows = a.spillRows[:0]
+	clear(a.spillIdx)
 }
 
 // ensureRows makes the vertex-table rows for the given row indices match
@@ -473,10 +553,20 @@ func (a *Agent) ensureRows(rows []int) time.Duration {
 	cost += c
 	w := a.alg.AttrWidth()
 	for i, r := range missRows {
-		copy(a.vt.Row(r), buf[i*w:(i+1)*w])
+		val := buf[i*w : (i+1)*w]
+		if a.cache != nil {
+			// A pending spill means the upper system's copy is stale until
+			// the phase boundary; the spilled row is the value an eager
+			// per-eviction upload would have returned. The fetch cost was
+			// paid above either way.
+			if sp, ok := a.spillRow(missIDs[i]); ok {
+				val = sp
+			}
+		}
+		copy(a.vt.Row(r), val)
 		a.fresh[r] = true
 		if a.cache != nil {
-			cost += a.cachePut(missIDs[i], buf[i*w:(i+1)*w])
+			a.cachePut(missIDs[i], val)
 		}
 	}
 	return cost
@@ -505,12 +595,22 @@ func (a *Agent) InvalidateRemote(ids []graph.VertexID, rows []float64) {
 	for i, id := range ids {
 		if a.cache != nil {
 			a.cache.Invalidate(id)
+			// A pending spill of this vertex is superseded by the remote
+			// value: refresh it in place so the eventual drain re-uploads
+			// the value the upper system already holds instead of
+			// resurrecting the stale local one. (Unreachable through the
+			// engine today — spills hold only this node's masters, and
+			// remote invalidations never target them — but cheap insurance
+			// for other callers.)
+			if sp, ok := a.spillRow(id); ok {
+				copy(sp, rows[i*w:(i+1)*w])
+			}
 		}
 		if r, ok := a.vt.Lookup(id); ok {
 			copy(a.vt.Row(r), rows[i*w:(i+1)*w])
 			a.fresh[r] = true
 			if a.cache != nil {
-				cost += a.cachePut(id, rows[i*w:(i+1)*w])
+				a.cachePut(id, rows[i*w:(i+1)*w])
 			}
 		}
 	}

@@ -635,11 +635,17 @@ func (a *Agent) RequestApply(res *GenResult) (*ApplyResult, error) {
 			out.LocalOnly = false
 		}
 		if a.cache != nil {
-			if !a.cache.Update(ids[i], row) {
-				cost += a.cachePut(ids[i], row)
+			if a.cache.Update(ids[i], row) {
+				// The row stayed resident: its upload really was deferred.
+				a.stats.LazySkipped++
+			} else {
+				// Write-back miss: re-admit the row, then mark it dirty.
+				// Not counted as lazily skipped — the insertion can evict
+				// (and spill) another dirty row, i.e. this write-back paid
+				// cache traffic instead of deferring an upload.
+				a.cachePut(ids[i], row)
 				a.cache.Update(ids[i], row)
 			}
-			a.stats.LazySkipped++
 		} else {
 			pushIDs = append(pushIDs, ids[i])
 			pushRows = append(pushRows, row...)
@@ -660,6 +666,10 @@ func (a *Agent) RequestApply(res *GenResult) (*ApplyResult, error) {
 // UploadQueried implements the agent side of lazy uploading (§III-B2b):
 // push only the dirty vertices that appear in the global query queue.
 // Returns the number of rows uploaded.
+//
+// The reads here are bookkeeping, not computation: they go through the
+// cache's non-counting Peek so they neither inflate the Hits counter the
+// Fig 11a statistics are built from nor promote entries in the LRU order.
 func (a *Agent) UploadQueried(q *synccache.QueryQueue) int {
 	if a.cache == nil {
 		return 0 // without caching everything was pushed eagerly
@@ -669,30 +679,46 @@ func (a *Agent) UploadQueried(q *synccache.QueryQueue) int {
 		return 0
 	}
 	aw := a.alg.AttrWidth()
+	ids := need[:0] // the ids actually resident; keeps len(ids)*aw == len(rows)
 	rows := make([]float64, 0, len(need)*aw)
 	for _, id := range need {
-		if cached, ok := a.cache.Get(id); ok {
-			rows = append(rows, cached...)
-			a.cache.MarkClean(id)
+		cached, ok := a.cache.Peek(id)
+		if !ok {
+			continue // evicted since Dirty(); its value travels via the spill queue
 		}
+		ids = append(ids, id)
+		rows = append(rows, cached...)
+		a.cache.MarkClean(id)
 	}
-	cost := a.upper.PushAttrs(need, rows)
+	if len(ids) == 0 {
+		return 0
+	}
+	cost := a.upper.PushAttrs(ids, rows)
 	a.stats.BoundaryTime += cost
-	a.stats.PushedRows += int64(len(need))
+	a.stats.PushedRows += int64(len(ids))
 	a.charge(cost)
-	return len(need)
+	return len(ids)
 }
 
-// Flush pushes every remaining dirty vertex to the upper system (end of
-// run, or before a full synchronization). Returns the cost, which the
-// caller has already been charged.
+// Flush pushes every remaining dirty vertex — pending spills first, then
+// the cache's dirty residents — to the upper system (end of run, or
+// before a full synchronization). Returns the cost, which the caller
+// charges.
 func (a *Agent) Flush() time.Duration {
 	if a.cache == nil {
 		return 0
 	}
+	var cost time.Duration
+	if len(a.spillIDs) > 0 {
+		c := a.upper.PushAttrs(a.spillIDs, a.spillRows)
+		a.stats.BoundaryTime += c
+		a.stats.PushedRows += int64(len(a.spillIDs))
+		cost += c
+		a.clearSpill()
+	}
 	dirty := a.cache.FlushDirty()
 	if len(dirty) == 0 {
-		return 0
+		return cost
 	}
 	aw := a.alg.AttrWidth()
 	ids := make([]graph.VertexID, len(dirty))
@@ -701,8 +727,8 @@ func (a *Agent) Flush() time.Duration {
 		ids[i] = ev.ID
 		copy(rows[i*aw:(i+1)*aw], ev.Row)
 	}
-	cost := a.upper.PushAttrs(ids, rows)
-	a.stats.BoundaryTime += cost
+	c := a.upper.PushAttrs(ids, rows)
+	a.stats.BoundaryTime += c
 	a.stats.PushedRows += int64(len(ids))
-	return cost
+	return cost + c
 }

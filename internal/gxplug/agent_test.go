@@ -11,6 +11,7 @@ import (
 	"gxplug/internal/device"
 	"gxplug/internal/gen"
 	"gxplug/internal/graph"
+	"gxplug/internal/gxplug/synccache"
 	"gxplug/internal/gxplug/template"
 )
 
@@ -22,6 +23,7 @@ type fakeUpper struct {
 	attrs   []float64
 	fixed   time.Duration
 	perByte float64 // seconds per byte
+	pushes  int     // PushAttrs batches observed
 }
 
 func newFakeUpper(g *graph.Graph, alg template.Algorithm, ctx *template.Context) *fakeUpper {
@@ -51,6 +53,7 @@ func (u *fakeUpper) FetchAttrs(ids []graph.VertexID, dst []float64) time.Duratio
 }
 
 func (u *fakeUpper) PushAttrs(ids []graph.VertexID, rows []float64) time.Duration {
+	u.pushes++
 	for i, id := range ids {
 		copy(u.attrs[int(id)*u.stride:(int(id)+1)*u.stride], rows[i*u.stride:(i+1)*u.stride])
 	}
@@ -420,6 +423,136 @@ func TestAgentStatsPopulated(t *testing.T) {
 	}
 	if s.DeviceInit == 0 {
 		t.Fatal("device init not recorded")
+	}
+}
+
+// TestAgentBoundedCacheMatchesUnbounded drives the spill path at the
+// agent layer: a cache bounded far below the vertex table must churn
+// (evictions, dirty spills) yet finish with authoritative state
+// bit-identical to the unbounded run — pending spills and dirty
+// residents all land by Flush.
+func TestAgentBoundedCacheMatchesUnbounded(t *testing.T) {
+	g := testGraph(t)
+	full, _, _ := driveAgents(t, g, 2, algos.NewPageRank(), fastOpts())
+
+	bounded := fastOpts()
+	bounded.CacheCapacity = g.NumVertices() / 16
+	attrs, _, agents := driveAgents(t, g, 2, algos.NewPageRank(), bounded)
+
+	var evictions, spills int64
+	for _, a := range agents {
+		s := a.Stats()
+		evictions += s.CacheEvictions
+		spills += s.DirtySpills
+	}
+	if evictions == 0 || spills == 0 {
+		t.Fatalf("capacity %d drove no churn: evictions=%d spills=%d",
+			bounded.CacheCapacity, evictions, spills)
+	}
+	for i := range attrs {
+		if math.Float64bits(attrs[i]) != math.Float64bits(full[i]) {
+			t.Fatalf("bounded cache changed attrs[%d]: %v vs %v", i, attrs[i], full[i])
+		}
+	}
+}
+
+// TestDrainSpillUploadsAtBoundary checks the spill queue contract
+// directly: dirty evictions do not touch the upper system until
+// DrainSpill, which uploads them as one batch, charges the node clock,
+// and empties the queue.
+func TestDrainSpillUploadsAtBoundary(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	part := graph.EdgeCutByHash(g, 1)
+	cl := cluster.New(1, cluster.DatacenterNet())
+	ctx := testCtx(g)
+	upper := newFakeUpper(g, pr, ctx)
+	opts := fastOpts()
+	opts.CacheCapacity = 8
+	a := NewAgent(cl.Node(0), part.Parts[0], pr, ctx, upper, opts)
+	if err := a.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Disconnect()
+
+	if n := a.DrainSpill(); n != 0 {
+		t.Fatalf("drain before any eviction uploaded %d rows", n)
+	}
+	res, err := a.RequestGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RequestApply(res); err != nil {
+		t.Fatal(err)
+	}
+	// PageRank dirties every master; an 8-row cache must have evicted
+	// dirty rows into the queue by now (gen re-fetches sources after the
+	// apply write-backs churned the cache).
+	if _, err := a.RequestGen(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.spillIDs) == 0 {
+		t.Fatal("no pending spills after bounded gen/apply/gen")
+	}
+	if int(upper.pushes) != 0 {
+		t.Fatalf("upper saw %d pushes before the phase boundary", upper.pushes)
+	}
+	pending := len(a.spillIDs)
+	before := a.Stats().PushedRows
+	clock := cl.Node(0).Clock.Now()
+	if n := a.DrainSpill(); n != pending {
+		t.Fatalf("drained %d rows, %d pending", n, pending)
+	}
+	if got := a.Stats().PushedRows - before; got != int64(pending) {
+		t.Fatalf("PushedRows advanced by %d for %d spilled rows", got, pending)
+	}
+	if cl.Node(0).Clock.Now() <= clock {
+		t.Fatal("drain did not charge the node's virtual clock")
+	}
+	if len(a.spillIDs) != 0 || len(a.spillIdx) != 0 {
+		t.Fatal("drain left the queue non-empty")
+	}
+	if n := a.DrainSpill(); n != 0 {
+		t.Fatalf("second drain uploaded %d rows", n)
+	}
+}
+
+// TestUploadQueriedDoesNotInflateHits: the lazy-upload bookkeeping reads
+// must not count as cache hits (they are not computation reads) and the
+// ids/rows pushed must stay length-consistent.
+func TestUploadQueriedDoesNotInflateHits(t *testing.T) {
+	g := testGraph(t)
+	pr := algos.NewPageRank()
+	part := graph.EdgeCutByHash(g, 1)
+	cl := cluster.New(1, cluster.DatacenterNet())
+	ctx := testCtx(g)
+	a := NewAgent(cl.Node(0), part.Parts[0], pr, ctx, newFakeUpper(g, pr, ctx), fastOpts())
+	if err := a.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Disconnect()
+	res, err := a.RequestGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RequestApply(res); err != nil {
+		t.Fatal(err)
+	}
+
+	before := a.Stats()
+	q := synccache.NewQueryQueue()
+	q.Push(a.Masters())
+	n := a.UploadQueried(q)
+	after := a.Stats()
+	if n == 0 {
+		t.Fatal("no dirty masters uploaded after a PageRank apply")
+	}
+	if after.CacheHits != before.CacheHits || after.CacheMisses != before.CacheMisses {
+		t.Fatalf("bookkeeping reads counted: hits %d->%d misses %d->%d",
+			before.CacheHits, after.CacheHits, before.CacheMisses, after.CacheMisses)
+	}
+	if after.PushedRows-before.PushedRows != int64(n) {
+		t.Fatalf("UploadQueried returned %d but pushed %d rows", n, after.PushedRows-before.PushedRows)
 	}
 }
 

@@ -19,15 +19,28 @@ import (
 	"gxplug/internal/graph"
 )
 
-// Stats counts cache activity; the Fig 11a harness reads it.
+// Stats counts cache activity; the Fig 11a harness and the engine's
+// per-superstep observer read it.
 type Stats struct {
-	Hits      int64
-	Misses    int64
+	Hits   int64
+	Misses int64
+	// Evictions counts every entry dropped from the cache before the
+	// owner let go of it: LRU capacity evictions and invalidations alike.
+	// Evictions - Invalidations isolates capacity pressure.
 	Evictions int64
-	// DirtyEvictions counts evictions of not-yet-uploaded entries — each
-	// forces an immediate upload ("if the chosen vertices were updated in
-	// previous iterations, corresponding information will be uploaded").
+	// Invalidations counts the subset of Evictions forced by remote
+	// updates (Invalidate) rather than capacity; it is non-zero even for
+	// unbounded caches under vertex-cut partitioning.
+	Invalidations int64
+	// DirtyEvictions counts evictions of not-yet-uploaded entries — for a
+	// capacity eviction the caller must upload the returned row ("if the
+	// chosen vertices were updated in previous iterations, corresponding
+	// information will be uploaded"); for an invalidation the remote value
+	// supersedes it and the local update is discarded.
 	DirtyEvictions int64
+	// DirtyOverwrites counts Puts that replaced a dirty entry with
+	// authoritative data — local updates conflated with a fresh download.
+	DirtyOverwrites int64
 }
 
 type entry struct {
@@ -78,24 +91,62 @@ func (c *Cache) Get(id graph.VertexID) ([]float64, bool) {
 	return e.row, true
 }
 
-// Evicted describes an entry pushed out by Put.
+// Peek returns the cached row for id without touching the LRU order or
+// the hit/miss counters. Bookkeeping reads — e.g. collecting dirty rows
+// for a lazy upload — go through Peek so they neither distort the Fig
+// 11a statistics nor promote entries the computation did not use.
+func (c *Cache) Peek(id graph.VertexID) ([]float64, bool) {
+	e, ok := c.m[id]
+	if !ok {
+		return nil, false
+	}
+	return e.row, true
+}
+
+// Evicted describes an entry pushed out by Put. The Row slice is the
+// evicted entry's storage: the cache no longer references it, so the
+// caller takes ownership.
 type Evicted struct {
 	ID    graph.VertexID
 	Row   []float64
 	Dirty bool
 }
 
-// Put inserts or refreshes a row (copied). If the cache is full, the
-// least recently used entry is evicted and returned so the agent can
-// upload it if it was dirty.
-func (c *Cache) Put(id graph.VertexID, row []float64) (ev Evicted, evicted bool) {
+// PutResult reports the side effects of a Put.
+type PutResult struct {
+	// Evicted is the entry pushed out to make room; meaningful only when
+	// DidEvict is set.
+	Evicted  Evicted
+	DidEvict bool
+	// OverwroteDirty reports that id was already resident AND dirty: the
+	// authoritative download replaced a local update that had not been
+	// uploaded yet. The entry is clean afterwards — callers that meant to
+	// keep the local value must re-Update.
+	OverwroteDirty bool
+}
+
+// Put inserts or refreshes a row (copied) with authoritative data from
+// the upper system. Put always leaves the entry clean: a fresh download
+// supersedes whatever was cached, including a pending local update —
+// refreshing over a dirty row would otherwise conflate locally-updated
+// and clean state and force a spurious re-upload at flush. The result
+// reports whether dirty data was overwritten and, if the cache was full,
+// which least-recently-used entry was evicted so the agent can upload it
+// if it was dirty.
+func (c *Cache) Put(id graph.VertexID, row []float64) PutResult {
 	if len(row) != c.stride {
 		panic(fmt.Sprintf("synccache: row width %d, stride %d", len(row), c.stride))
 	}
+	var res PutResult
 	if e, ok := c.m[id]; ok {
 		copy(e.row, row)
+		if e.dirty {
+			e.dirty = false
+			c.stats.DirtyOverwrites++
+			res.OverwroteDirty = true
+		}
 		c.lru.MoveToFront(e.elem)
-		return Evicted{}, false
+		return res
 	}
 	if len(c.m) >= c.cap {
 		back := c.lru.Back()
@@ -106,13 +157,13 @@ func (c *Cache) Put(id graph.VertexID, row []float64) (ev Evicted, evicted bool)
 		if old.dirty {
 			c.stats.DirtyEvictions++
 		}
-		ev = Evicted{ID: old.id, Row: old.row, Dirty: old.dirty}
-		evicted = true
+		res.Evicted = Evicted{ID: old.id, Row: old.row, Dirty: old.dirty}
+		res.DidEvict = true
 	}
 	e := &entry{id: id, row: append([]float64(nil), row...)}
 	e.elem = c.lru.PushFront(e)
 	c.m[id] = e
-	return ev, evicted
+	return res
 }
 
 // Update overwrites the row of a cached entry with computation results
@@ -130,13 +181,24 @@ func (c *Cache) Update(id graph.VertexID, row []float64) bool {
 }
 
 // Invalidate drops an entry (a remote node updated the vertex, so the
-// cached copy is stale). Dirty state is discarded: the remote value
-// supersedes the local one.
-func (c *Cache) Invalidate(id graph.VertexID) {
-	if e, ok := c.m[id]; ok {
-		c.lru.Remove(e.elem)
-		delete(c.m, id)
+// cached copy is stale). Dirty state is discarded — the remote value
+// supersedes the local one — but the drop is still counted: an
+// invalidation is an eviction the agent did not choose, and the
+// Evictions/DirtyEvictions counters exist to count exactly these
+// departures. It reports whether a dirty entry was discarded.
+func (c *Cache) Invalidate(id graph.VertexID) (droppedDirty bool) {
+	e, ok := c.m[id]
+	if !ok {
+		return false
 	}
+	c.lru.Remove(e.elem)
+	delete(c.m, id)
+	c.stats.Evictions++
+	c.stats.Invalidations++
+	if e.dirty {
+		c.stats.DirtyEvictions++
+	}
+	return e.dirty
 }
 
 // Dirty returns the IDs of all dirty entries, in no particular order.

@@ -60,9 +60,9 @@ func TestLRUEvictionOrder(t *testing.T) {
 	c.Put(1, []float64{1})
 	c.Put(2, []float64{2})
 	c.Get(1) // 1 is now most recent; 2 is LRU
-	ev, evicted := c.Put(3, []float64{3})
-	if !evicted || ev.ID != 2 {
-		t.Fatalf("evicted %+v, want vertex 2", ev)
+	pr := c.Put(3, []float64{3})
+	if !pr.DidEvict || pr.Evicted.ID != 2 {
+		t.Fatalf("evicted %+v, want vertex 2", pr)
 	}
 	if _, ok := c.Get(1); !ok {
 		t.Fatal("recently used entry evicted")
@@ -75,13 +75,41 @@ func TestLRUEvictionOrder(t *testing.T) {
 func TestPutExistingRefreshesNoEvict(t *testing.T) {
 	c := New(1, 1)
 	c.Put(1, []float64{1})
-	_, evicted := c.Put(1, []float64{2})
-	if evicted {
+	pr := c.Put(1, []float64{2})
+	if pr.DidEvict {
 		t.Fatal("refreshing an entry evicted something")
+	}
+	if pr.OverwroteDirty {
+		t.Fatal("refreshing a clean entry reported a dirty overwrite")
 	}
 	row, _ := c.Get(1)
 	if row[0] != 2 {
 		t.Fatal("refresh did not update value")
+	}
+}
+
+// Regression: a fresh authoritative download over a dirty row must clear
+// the dirty flag (and report the overwrite) — leaving it set conflates
+// local-updated and clean state and causes a spurious re-upload at flush.
+func TestPutOverDirtyClearsDirty(t *testing.T) {
+	c := New(2, 1)
+	c.Put(1, []float64{1})
+	c.Update(1, []float64{5})
+	pr := c.Put(1, []float64{7}) // authoritative refresh supersedes the update
+	if !pr.OverwroteDirty {
+		t.Fatal("dirty overwrite not reported")
+	}
+	if len(c.Dirty()) != 0 {
+		t.Fatal("Put left the refreshed entry dirty")
+	}
+	if fl := c.FlushDirty(); len(fl) != 0 {
+		t.Fatalf("flush after authoritative refresh uploaded %d rows, want 0", len(fl))
+	}
+	if row, _ := c.Get(1); row[0] != 7 {
+		t.Fatalf("refresh lost the downloaded value: %v", row)
+	}
+	if s := c.Stats(); s.DirtyOverwrites != 1 {
+		t.Fatalf("stats %+v, want 1 dirty overwrite", s)
 	}
 }
 
@@ -109,27 +137,67 @@ func TestDirtyEvictionReported(t *testing.T) {
 	c := New(1, 1)
 	c.Put(1, []float64{1})
 	c.Update(1, []float64{5})
-	ev, evicted := c.Put(2, []float64{2})
-	if !evicted || !ev.Dirty || ev.Row[0] != 5 {
-		t.Fatalf("dirty eviction lost data: %+v", ev)
+	pr := c.Put(2, []float64{2})
+	if !pr.DidEvict || !pr.Evicted.Dirty || pr.Evicted.Row[0] != 5 {
+		t.Fatalf("dirty eviction lost data: %+v", pr)
 	}
 	if c.Stats().DirtyEvictions != 1 {
 		t.Fatalf("stats %+v", c.Stats())
 	}
 }
 
+func TestPeekDoesNotCount(t *testing.T) {
+	c := New(2, 1)
+	c.Put(1, []float64{1})
+	c.Put(2, []float64{2})
+	if _, ok := c.Peek(9); ok {
+		t.Fatal("Peek found an absent entry")
+	}
+	if row, ok := c.Peek(1); !ok || row[0] != 1 {
+		t.Fatalf("Peek(1) = %v %v", row, ok)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("Peek counted: %+v", s)
+	}
+	// Peek must not promote: 1 stays LRU despite the Peek, so inserting a
+	// third entry evicts it, not 2.
+	if pr := c.Put(3, []float64{3}); !pr.DidEvict || pr.Evicted.ID != 1 {
+		t.Fatalf("Peek changed LRU order: evicted %+v, want vertex 1", pr)
+	}
+}
+
+// Regression: invalidations are evictions the agent did not choose and
+// must be counted — otherwise cache stats undercount exactly the events
+// the eviction counters exist for.
 func TestInvalidateDiscards(t *testing.T) {
 	c := New(2, 1)
 	c.Put(1, []float64{1})
 	c.Update(1, []float64{2})
-	c.Invalidate(1)
+	if !c.Invalidate(1) {
+		t.Fatal("dirty drop not reported")
+	}
 	if _, ok := c.Get(1); ok {
 		t.Fatal("invalidated entry still resident")
 	}
 	if len(c.Dirty()) != 0 {
 		t.Fatal("invalidate kept dirty state")
 	}
-	c.Invalidate(42) // absent: no-op
+	if s := c.Stats(); s.Evictions != 1 || s.DirtyEvictions != 1 || s.Invalidations != 1 {
+		t.Fatalf("invalidation not counted: %+v", s)
+	}
+	c.Put(2, []float64{2})
+	if c.Invalidate(2) {
+		t.Fatal("clean drop reported dirty")
+	}
+	if s := c.Stats(); s.Evictions != 2 || s.DirtyEvictions != 1 || s.Invalidations != 2 {
+		t.Fatalf("clean invalidation miscounted: %+v", s)
+	}
+	if c.Invalidate(42) { // absent: no-op
+		t.Fatal("absent invalidation reported a dirty drop")
+	}
+	if s := c.Stats(); s.Evictions != 2 {
+		t.Fatalf("absent invalidation counted: %+v", s)
+	}
 }
 
 func TestFlushDirty(t *testing.T) {
@@ -199,8 +267,9 @@ func TestCacheInvariantsQuick(t *testing.T) {
 }
 
 // Property: an entry written by Update is either still resident and dirty,
-// or was reported out through a dirty eviction/flush — updates are never
-// silently lost.
+// or was reported out through a dirty eviction/flush, or explicitly
+// superseded by authoritative data (Put refresh, Invalidate) — updates are
+// never silently lost.
 func TestNoLostUpdatesQuick(t *testing.T) {
 	f := func(seed int64) bool {
 		c := New(3, 1)
@@ -210,9 +279,12 @@ func TestNoLostUpdatesQuick(t *testing.T) {
 			id := graph.VertexID(rng.Intn(10))
 			switch rng.Intn(3) {
 			case 0:
-				ev, evicted := c.Put(id, []float64{1})
-				if evicted && ev.Dirty {
-					delete(pending, ev.ID) // surfaced via eviction
+				pr := c.Put(id, []float64{1})
+				if pr.DidEvict && pr.Evicted.Dirty {
+					delete(pending, pr.Evicted.ID) // surfaced via eviction
+				}
+				if pr.OverwroteDirty {
+					delete(pending, id) // authoritative refresh superseded it
 				}
 			case 1:
 				if c.Update(id, []float64{2}) {

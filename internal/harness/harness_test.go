@@ -216,6 +216,39 @@ func TestFig10Shape(t *testing.T) {
 	}
 }
 
+// Cache-capacity sweep shape: the hit rate is monotonically
+// non-decreasing in capacity, eviction pressure (evictions, dirty
+// spills) falls as capacity grows, and the unbounded point spills
+// nothing.
+func TestCacheCapSweepShape(t *testing.T) {
+	res, err := CacheCapSweep(Options{Scale: 4000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Entries), len(CacheCapFractions()); got != want {
+		t.Fatalf("%d sweep points, want %d", got, want)
+	}
+	for i := 1; i < len(res.Entries); i++ {
+		prev, cur := res.Entries[i-1], res.Entries[i]
+		if cur.HitRate < prev.HitRate {
+			t.Errorf("hit rate fell growing capacity %s -> %s: %.3f -> %.3f\n%s",
+				prev.Fraction, cur.Fraction, prev.HitRate, cur.HitRate, res)
+		}
+		if cur.Evictions > prev.Evictions {
+			t.Errorf("evictions rose growing capacity %s -> %s: %d -> %d\n%s",
+				prev.Fraction, cur.Fraction, prev.Evictions, cur.Evictions, res)
+		}
+	}
+	smallest, _ := res.Entry("1/8")
+	if smallest.Evictions == 0 || smallest.DirtySpills == 0 {
+		t.Fatalf("1/8 capacity drove no eviction pressure:\n%s", res)
+	}
+	full, _ := res.Entry("1")
+	if full.Capacity != 0 || full.Evictions != 0 || full.DirtySpills != 0 {
+		t.Fatalf("unbounded point reports capacity pressure: %+v", full)
+	}
+}
+
 // Fig 11a shape: caching helps both engines, and helps GraphX more (its
 // boundary is JNI-expensive).
 func TestFig11aShape(t *testing.T) {
