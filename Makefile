@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build examples test test-full race race-boundedcache ci bench
+.PHONY: all fmt vet build examples test test-full race race-boundedcache race-suite cover fuzz-smoke ci bench
 
 all: ci
 
@@ -41,7 +41,40 @@ race:
 race-boundedcache:
 	GOMAXPROCS=8 $(GO) test -race -short -run 'TestBoundedCache' ./internal/engine
 
-ci: fmt vet build examples race race-boundedcache
+# Concurrent suite execution shares immutable graphs/partitionings across
+# runs; the determinism pin (pool 1 == pool N, bit for bit) stays under
+# the race detector even if the broader race target is ever narrowed.
+race-suite:
+	GOMAXPROCS=8 $(GO) test -race -run 'TestSuiteConcurrencyDeterminism' ./gx
+
+# Per-package coverage summary, gated on the floors recorded in
+# COVERAGE_baseline.txt for the public API and the engine core. The test
+# run's own status is checked before the floors: a failing suite fails
+# this target, coverage lines or not.
+cover:
+	@out=$$(mktemp); \
+	$(GO) test -short -cover ./... > $$out; status=$$?; \
+	cat $$out; \
+	if [ $$status -ne 0 ]; then rm -f $$out; echo "cover: tests failed"; exit $$status; fi; \
+	rc=0; \
+	while read pkg floor; do \
+		got=$$(grep -E "[[:space:]]$$pkg[[:space:]]" $$out | grep -oE 'coverage: [0-9.]+' | grep -oE '[0-9.]+'); \
+		if [ -z "$$got" ]; then echo "cover: no coverage reported for $$pkg"; rc=1; break; fi; \
+		ok=$$(awk -v g="$$got" -v f="$$floor" 'BEGIN { print (g >= f) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then echo "cover: $$pkg coverage $$got% regressed below baseline $$floor%"; rc=1; break; fi; \
+		echo "cover: $$pkg $$got% >= baseline $$floor%"; \
+	done < COVERAGE_baseline.txt; \
+	rm -f $$out; exit $$rc
+
+# 10-second native-fuzzing smoke over the shared-memory codec and the
+# dense/overflow routing boundary (full corpora live in testdata/fuzz).
+fuzz-smoke:
+	$(GO) test ./internal/gxplug -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime=10s
+	$(GO) test ./internal/gxplug -run '^$$' -fuzz '^FuzzCodecDecodeNoPanic$$' -fuzztime=10s
+	$(GO) test ./internal/gxplug -run '^$$' -fuzz '^FuzzOutboxRouting$$' -fuzztime=10s
+	$(GO) test ./internal/gxplug -run '^$$' -fuzz '^FuzzInboxFromMap$$' -fuzztime=10s
+
+ci: fmt vet build examples race race-boundedcache race-suite cover fuzz-smoke
 
 # Record the engine superstep microbenchmarks (latency + allocs) in
 # BENCH_engine.json.

@@ -1,14 +1,26 @@
-// Command gxrun executes one graph algorithm on one engine configuration
-// end-to-end and reports timing, iteration counts and optimization
-// statistics. Runs are described either by flags or by a declarative
-// scenario file; both paths build the same gx.Scenario, so they produce
-// bit-identical results.
+// Command gxrun executes graph workloads end-to-end and reports timing,
+// iteration counts and optimization statistics. Single runs are
+// described either by flags or by a declarative scenario file; both
+// paths build the same gx.Scenario, so they produce bit-identical
+// results. A suite file batches many named scenarios into one
+// invocation.
 //
 //	gxrun -engine powergraph -algo pagerank -dataset orkut -nodes 4 -gpus 2
 //	gxrun -engine graphx -algo sssp -dataset wrn -nodes 4 -accel cpu
 //	gxrun -scenario testdata/pagerank-pg-4n.json
 //	gxrun -algo sssp -dataset wrn -progress      # one line per superstep
 //	gxrun -algo pagerank -cachecap 64            # bounded LRU sync cache
+//	gxrun -suite testdata/suite-pagerank-mix.json
+//	gxrun -suite suite.json -pool 8              # bounded run concurrency
+//
+// -suite executes every entry of a suite file concurrently on a bounded
+// pool (-pool, default GOMAXPROCS), loading each distinct (dataset,
+// scale, seed) exactly once through a shared dataset/partition cache.
+// Per-entry reports stream in suite order as entries finish, followed by
+// a summary table and the cache's load/hit accounting; output is
+// bit-identical at every pool size. With -progress, per-superstep lines
+// carry their entry name (lines of different entries interleave in
+// completion order when the pool is wider than one).
 //
 // -cachecap bounds each agent's synchronization cache to that many rows
 // (0 = the node's full vertex table); it models memory-constrained
@@ -52,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		scenarioPath = fs.String("scenario", "", "JSON scenario file (overrides the per-field flags)")
+		suitePath    = fs.String("suite", "", "JSON suite file: run every entry (excludes -scenario and the per-field flags)")
+		pool         = fs.Int("pool", 0, "max suite entries running concurrently (0 = GOMAXPROCS); results are identical at every size")
 		engineName   = fs.String("engine", "powergraph", "engine: "+strings.Join(gx.Engines(), " | "))
 		algoName     = fs.String("algo", "pagerank", "algorithm: "+strings.Join(gx.Algorithms(), " | "))
 		dataset      = fs.String("dataset", "orkut", "dataset: "+strings.Join(gx.Datasets(), " | "))
@@ -72,6 +86,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		return errFlagParse // the FlagSet already printed the details
+	}
+
+	if *suitePath != "" {
+		// A suite file fully describes its runs: every per-run flag set
+		// alongside -suite would be silently dead, so all of them are
+		// loud errors (-pool and -progress configure the suite itself).
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "suite", "pool", "progress":
+			default:
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			return fmt.Errorf("gxrun: -suite cannot be combined with %s (suite entries carry their own scenarios)",
+				strings.Join(conflicts, ", "))
+		}
+		return runSuite(*suitePath, *pool, *progress, stdout)
+	}
+	// The mirror-image hole: -pool configures suite concurrency only, so
+	// setting it without -suite would be silently dead.
+	poolSet := false
+	fs.Visit(func(f *flag.Flag) { poolSet = poolSet || f.Name == "pool" })
+	if poolSet {
+		return errors.New("gxrun: -pool requires -suite (single runs have no entry concurrency)")
 	}
 
 	var s gx.Scenario
@@ -131,6 +171,114 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// runSuite executes a suite file on a bounded pool, streaming per-entry
+// reports in suite order and closing with a summary table plus the
+// dataset-cache accounting. Everything printed is a deterministic
+// function of the suite file, so output is bit-identical at every pool
+// size.
+func runSuite(path string, pool int, progress bool, stdout io.Writer) error {
+	suite, err := gx.LoadSuite(path)
+	if err != nil {
+		return err
+	}
+	suite = suite.WithDefaults()
+	if err := suite.Validate(); err != nil {
+		return err
+	}
+
+	name := suite.Name
+	if name == "" {
+		name = path
+	}
+	n := len(suite.Entries)
+	fmt.Fprintf(stdout, "suite %s: %d entries\n", name, n)
+
+	printed := 0
+	opts := []gx.SuiteOption{
+		gx.WithEntryDone(func(er gx.EntryResult) {
+			printed++
+			reportEntry(stdout, printed, n, er)
+		}),
+	}
+	if pool != 0 { // 0 keeps RunSuite's GOMAXPROCS default; negatives surface its validation error
+		opts = append(opts, gx.WithPool(pool))
+	}
+	if progress {
+		opts = append(opts, gx.WithSuiteObserver(func(entry string, st gx.Superstep) {
+			mark := " "
+			if st.SkippedSync {
+				mark = "s"
+			}
+			fmt.Fprintf(stdout, "  %s [%4d]%s frontier=%-9d msgs=%-9d t=%v\n",
+				entry, st.Iteration, mark, st.Frontier, st.Messages, st.Makespan)
+		}))
+	}
+
+	res, err := gx.RunSuite(suite, opts...)
+	if err != nil {
+		return err
+	}
+	reportSuiteSummary(stdout, res)
+	if failed := res.Failed(); failed > 0 {
+		return fmt.Errorf("gxrun: %d of %d suite entries failed", failed, n)
+	}
+	return nil
+}
+
+// reportEntry prints one streamed suite-entry report.
+func reportEntry(w io.Writer, i, n int, er gx.EntryResult) {
+	s := er.Scenario
+	fmt.Fprintf(w, "[%d/%d] %s: %s on %s/%s over %d nodes, accel=%s\n",
+		i, n, er.Name, s.Algorithm, s.Dataset, s.Engine, s.Nodes, s.Accel)
+	if er.Err != nil {
+		fmt.Fprintf(w, "  error       : %v\n", er.Err)
+		return
+	}
+	res, tot := er.Result, er.Totals
+	fmt.Fprintf(w, "  time        : %v\n", res.Time)
+	fmt.Fprintf(w, "  supersteps  : %d (%d syncs skipped)\n", tot.Supersteps, tot.SkippedSyncs)
+	fmt.Fprintf(w, "  messages    : %d (%d bytes)\n", tot.Messages, tot.MessageBytes)
+	if tot.CacheHits+tot.CacheMisses > 0 {
+		fmt.Fprintf(w, "  cache       : %.0f%% hit rate, %d evictions (%d dirty spills)\n",
+			100*float64(tot.CacheHits)/float64(tot.CacheHits+tot.CacheMisses),
+			tot.CacheEvictions, tot.CacheDirtySpills)
+	}
+	finite, sum := digest(res.Attrs)
+	fmt.Fprintf(w, "  result      : %d finite attribute values, sum %.4f\n", finite, sum)
+}
+
+// reportSuiteSummary prints the closing table and cache accounting.
+func reportSuiteSummary(w io.Writer, res *gx.SuiteResult) {
+	fmt.Fprintf(w, "%-16s%-12s%-12s%-14s%-14s%-7s%s\n",
+		"entry", "engine", "algorithm", "dataset", "time", "iters", "result-sum")
+	for _, er := range res.Entries {
+		if er.Err != nil {
+			fmt.Fprintf(w, "%-16s%-12s%-12s%-14serror: %v\n",
+				er.Name, er.Scenario.Engine, er.Scenario.Algorithm, er.Scenario.Dataset, er.Err)
+			continue
+		}
+		_, sum := digest(er.Result.Attrs)
+		fmt.Fprintf(w, "%-16s%-12s%-12s%-14s%-14s%-7d%.4f\n",
+			er.Name, er.Scenario.Engine, er.Scenario.Algorithm, er.Scenario.Dataset,
+			fmt.Sprintf("%.4fs", er.Result.Time.Seconds()), er.Result.Iterations, sum)
+	}
+	c := res.Cache
+	fmt.Fprintf(w, "dataset cache: %d graphs loaded (%d hits), %d partitionings built (%d hits)\n",
+		c.GraphLoads, c.GraphHits, c.PartitionBuilds, c.PartitionHits)
+}
+
+// digest folds an attribute array into the comparable result line: the
+// count and sum of its finite values.
+func digest(attrs []float64) (finite int, sum float64) {
+	for _, v := range attrs {
+		if !isInf(v) {
+			sum += v
+			finite++
+		}
+	}
+	return finite, sum
+}
+
 // report prints the run summary, ending in a digest that makes two runs
 // comparable at a glance.
 func report(w io.Writer, s gx.Scenario, g *gx.Graph, res *gx.Result) {
@@ -158,14 +306,7 @@ func report(w io.Writer, s gx.Scenario, g *gx.Graph, res *gx.Result) {
 				100*float64(hits)/float64(hits+misses), evictions, spills)
 		}
 	}
-	var sum float64
-	finite := 0
-	for _, v := range res.Attrs {
-		if !isInf(v) {
-			sum += v
-			finite++
-		}
-	}
+	finite, sum := digest(res.Attrs)
 	fmt.Fprintf(w, "  result      : %d finite attribute values, sum %.4f\n", finite, sum)
 }
 

@@ -67,6 +67,84 @@ func TestCacheCapRejectsNativeRuns(t *testing.T) {
 	}
 }
 
+// TestSuiteGolden is the suite-mode golden fixture: the checked-in suite
+// file must print exactly the checked-in report, and the report must be
+// bit-identical between pool sizes 1 and 4 — concurrency is a wall-clock
+// optimization, never an output dimension.
+func TestSuiteGolden(t *testing.T) {
+	var pool1, pool4 bytes.Buffer
+	if err := run([]string{"-suite", "testdata/suite-pagerank-mix.json", "-pool", "1"}, &pool1, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-suite", "testdata/suite-pagerank-mix.json", "-pool", "4"}, &pool4, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if pool1.String() != pool4.String() {
+		t.Fatalf("suite output differs across pool sizes:\n--- pool 1\n%s--- pool 4\n%s",
+			pool1.String(), pool4.String())
+	}
+	golden, err := os.ReadFile("testdata/suite-pagerank-mix.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool1.String() != string(golden) {
+		t.Fatalf("suite output diverges from golden:\n--- got\n%s--- want\n%s",
+			pool1.String(), golden)
+	}
+	// The cache accounting line is the single-load guarantee surfaced to
+	// users: two distinct datasets, three entries.
+	if !strings.Contains(pool1.String(), "dataset cache: 2 graphs loaded (1 hits)") {
+		t.Fatalf("cache accounting missing:\n%s", pool1.String())
+	}
+}
+
+// TestSuiteFlagConflicts: -suite excludes -scenario and every per-run
+// flag (they would be silently dead), negative pools surface RunSuite's
+// validation, and suite files get the same loud unknown-field treatment
+// as scenario files.
+func TestSuiteFlagConflicts(t *testing.T) {
+	err := run([]string{"-suite", "a.json", "-scenario", "b.json"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "cannot be combined with -scenario") {
+		t.Fatalf("conflicting -scenario accepted: %v", err)
+	}
+	err = run([]string{"-suite", "a.json", "-cachecap", "64", "-maxiter", "5"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-cachecap") || !strings.Contains(err.Error(), "-maxiter") {
+		t.Fatalf("dead per-run flags accepted alongside -suite: %v", err)
+	}
+	err = run([]string{"-suite", "testdata/suite-pagerank-mix.json", "-pool", "-3"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "want ≥ 1") {
+		t.Fatalf("negative pool accepted: %v", err)
+	}
+	err = run([]string{"-algo", "pagerank", "-pool", "4"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-pool requires -suite") {
+		t.Fatalf("dead -pool accepted without -suite: %v", err)
+	}
+	dir := t.TempDir()
+	path := dir + "/bad-suite.json"
+	if err := os.WriteFile(path, []byte(`{"entries": [{"engin": "powergraph"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-suite", path}, io.Discard, io.Discard); err == nil {
+		t.Fatal("suite with a typo field ran")
+	}
+}
+
+// TestSuiteProgressStreamsEntries: -progress in suite mode prefixes each
+// superstep line with its entry name, at pool 1 and — with lines of
+// different entries interleaving but every callback serialized against
+// the entry reports — at a wide pool too.
+func TestSuiteProgressStreamsEntries(t *testing.T) {
+	for _, pool := range []string{"1", "4"} {
+		var out bytes.Buffer
+		if err := run([]string{"-suite", "testdata/suite-pagerank-mix.json", "-pool", pool, "-progress"}, &out, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Count(out.String(), "pr-pg-gpu [") != 10 {
+			t.Fatalf("pool %s: want 10 progress lines for pr-pg-gpu:\n%s", pool, out.String())
+		}
+	}
+}
+
 // TestUnknownNamesListRegistered checks the registry-driven error
 // surface: a typo in any registrable flag fails with the registered
 // names, not a silent default or a bare failure.

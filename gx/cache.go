@@ -1,0 +1,93 @@
+package gx
+
+import (
+	"gxplug/internal/graph"
+	"gxplug/internal/memo"
+)
+
+// DatasetCache memoizes the two expensive, reusable inputs of a run:
+// graphs by (dataset, scale, seed) and partitionings by (graph, engine,
+// nodes). Both are immutable once built — graphs are CSR, partitionings
+// are read-only assignments — so one cache can back any number of
+// concurrent runs; every method is safe for concurrent use and loads are
+// single-flight (concurrent requests for one missing key build once and
+// share the result).
+//
+// RunSuite creates one per call by default; passing a cache explicitly
+// with [WithCache] extends the reuse across suites — a service executing
+// many suites over the same catalog loads each dataset once for its
+// whole lifetime. Entries are retained until [DatasetCache.Purge].
+type DatasetCache struct {
+	graphs *memo.Table[graphKey, loadedGraph]
+	parts  *graph.PartitionCache
+}
+
+type graphKey struct {
+	dataset     string
+	scale, seed int64
+}
+
+type loadedGraph struct {
+	g   *Graph
+	err error
+}
+
+// CacheStats snapshots a DatasetCache's activity.
+type CacheStats struct {
+	// GraphHits counts Graph calls answered from the cache; GraphLoads
+	// counts dataset loads — the number of distinct (dataset, scale,
+	// seed) triples ever requested.
+	GraphHits, GraphLoads int64
+	// PartitionHits and PartitionBuilds are the same split for
+	// partitionings, keyed by (graph, engine, nodes).
+	PartitionHits, PartitionBuilds int64
+}
+
+// NewDatasetCache returns an empty dataset/partition cache.
+func NewDatasetCache() *DatasetCache {
+	return &DatasetCache{
+		graphs: memo.NewTable[graphKey, loadedGraph](),
+		parts:  graph.NewPartitionCache(),
+	}
+}
+
+// Graph returns the memoized graph for a registered dataset at (scale,
+// seed), loading it through the dataset registry on first request.
+// Errors are memoized: generation is deterministic, so retrying a
+// failed load cannot succeed.
+func (c *DatasetCache) Graph(dataset string, scale, seed int64) (*Graph, error) {
+	r := c.graphs.Get(graphKey{dataset: dataset, scale: scale, seed: seed}, func() loadedGraph {
+		g, err := LoadDataset(dataset, scale, seed)
+		return loadedGraph{g: g, err: err}
+	})
+	return r.g, r.err
+}
+
+// Partitioning returns the memoized default partitioning of the named
+// engine for g over the given node count, building it on first request.
+// It is exactly what the engine would build for itself, so handing it to
+// [Run] via [WithPartitioning] changes nothing but the build count.
+func (c *DatasetCache) Partitioning(g *Graph, engine string, nodes int) (*Partitioning, error) {
+	def, err := engineReg.lookup(engine)
+	if err != nil {
+		return nil, err
+	}
+	spec := def.Spec()
+	return c.parts.Get(g, engine, nodes, spec.Partition), nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *DatasetCache) Stats() CacheStats {
+	gs := c.graphs.Stats()
+	ps := c.parts.Stats()
+	return CacheStats{
+		GraphHits: gs.Hits, GraphLoads: gs.Entries,
+		PartitionHits: ps.Hits, PartitionBuilds: ps.Builds,
+	}
+}
+
+// Purge drops every graph and partitioning and zeroes the counters.
+func (c *DatasetCache) Purge() {
+	c.graphs.Purge()
+	c.parts.Purge()
+}

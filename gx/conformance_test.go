@@ -1,0 +1,164 @@
+package gx
+
+import (
+	"math"
+	"testing"
+
+	"gxplug/internal/algos"
+)
+
+// exactMerge classifies the built-in algorithms by merge operator. Exact
+// operators (min, count, flag) make a run's result independent of merge
+// order, so every engine path must reproduce the sequential reference in
+// internal/algos bit for bit. PageRank merges by floating-point sum,
+// where distributed merge order legitimately moves the last ulp; its
+// cells are checked bitwise against each other per execution mode and
+// within tolerance of the reference. Algorithms registered by other
+// tests in this package default to the tolerance path.
+var exactMerge = map[string]bool{
+	"pagerank": false,
+	"sssp":     true,
+	"lp":       true,
+	"cc":       true,
+	"kcore":    true,
+	"bfs":      true,
+}
+
+// conformanceVariant is one execution mode of the matrix. The anchor
+// string groups variants whose float paths must agree bit for bit even
+// for order-sensitive merges: all caching-on plugged cells share one
+// anchor, caching-off cells another (caching changes which float path
+// produces a value — cache row vs fresh fetch — which legitimately moves
+// a sum's last ulp; within one mode there is no such freedom).
+type conformanceVariant struct {
+	name   string
+	anchor string
+	heavy  bool
+	apply  func(*Scenario)
+}
+
+// conformanceVariants spans the execution modes of the matrix: native,
+// plugged with every optimization, the caching/skipping toggle
+// sub-combos, and a bounded synchronization cache small enough to force
+// evictions and dirty spills on the test graph.
+func conformanceVariants() []conformanceVariant {
+	allBut := func(caching, skipping bool) *Toggles {
+		return &Toggles{Pipeline: true, Caching: caching, Skipping: skipping, OptimalBlockSize: true}
+	}
+	return []conformanceVariant{
+		{"native", "native", false, func(s *Scenario) { s.Accel = "none" }},
+		{"plugged", "cached", false, func(s *Scenario) { s.Accel = "cpu" }},
+		{"caching-off", "uncached", true, func(s *Scenario) { s.Accel = "cpu"; s.Opt = allBut(false, true) }},
+		{"skipping-off", "cached", true, func(s *Scenario) { s.Accel = "cpu"; s.Opt = allBut(true, false) }},
+		{"caching-skipping-off", "uncached", true, func(s *Scenario) { s.Accel = "cpu"; s.Opt = allBut(false, false) }},
+		{"bounded-cache", "cached", false, func(s *Scenario) { s.Accel = "cpu"; s.CacheCapacity = 8 }},
+	}
+}
+
+// TestConformanceMatrix is the differential conformance matrix: every
+// registered algorithm × every registered engine × {native, plugged,
+// caching on/off, skipping on/off, bounded cache} against the sequential
+// reference in internal/algos. Exact-merge algorithms must match the
+// reference bit for bit on every path; float-sum algorithms must be
+// bitwise identical across all plugged variants and within 1e-9 of the
+// reference everywhere. Heavy cells (the toggle sub-combos) are skipped
+// under -short.
+func TestConformanceMatrix(t *testing.T) {
+	const (
+		dataset = "orkut"
+		scale   = 20000
+		seed    = 42
+		nodes   = 3
+	)
+	g, err := LoadDataset(dataset, scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := conformanceVariants()
+
+	for _, algName := range Algorithms() {
+		ref, err := NewAlgorithm(algName, AlgoParams{}, g.NumVertices())
+		if err != nil {
+			t.Fatalf("%s: %v", algName, err)
+		}
+		want, _ := algos.Sequential(g, ref)
+		exact := exactMerge[algName]
+
+		for _, engName := range Engines() {
+			// The first cell of each anchor group pins the bitwise
+			// cross-variant comparison for non-exact algorithms.
+			anchors := make(map[string]*Result)
+			var iterations = -1
+			for _, v := range variants {
+				if v.heavy && testing.Short() {
+					continue
+				}
+				s := Scenario{
+					Engine:    engName,
+					Algorithm: algName,
+					Dataset:   dataset,
+					Scale:     scale,
+					Seed:      seed,
+					Nodes:     nodes,
+				}
+				v.apply(&s)
+				t.Run(algName+"/"+engName+"/"+v.name, func(t *testing.T) {
+					res, err := Run(s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(res.Attrs) != len(want) {
+						t.Fatalf("attr length %d, reference %d", len(res.Attrs), len(want))
+					}
+					if exact {
+						for i := range want {
+							if !bitEqual(res.Attrs[i], want[i]) {
+								t.Fatalf("attr %d = %v, reference %v (exact-merge algorithm must match bit for bit)",
+									i, res.Attrs[i], want[i])
+							}
+						}
+					} else {
+						for i := range want {
+							if d := math.Abs(res.Attrs[i] - want[i]); !(d <= 1e-9 || bitEqual(res.Attrs[i], want[i])) {
+								t.Fatalf("attr %d = %v, reference %v (|Δ|=%v > 1e-9)", i, res.Attrs[i], want[i], d)
+							}
+						}
+						if anchor := anchors[v.anchor]; anchor != nil {
+							for i := range anchor.Attrs {
+								if !bitEqual(res.Attrs[i], anchor.Attrs[i]) {
+									t.Fatalf("attr %d = %v differs from %s anchor %v: same-mode cells must agree bit for bit",
+										i, res.Attrs[i], v.anchor, anchor.Attrs[i])
+								}
+							}
+						}
+					}
+					if anchors[v.anchor] == nil {
+						anchors[v.anchor] = res
+					}
+					// Iteration counts are mode-independent across the
+					// whole matrix row.
+					if iterations < 0 {
+						iterations = res.Iterations
+					} else if res.Iterations != iterations {
+						t.Fatalf("%d iterations, other cells ran %d", res.Iterations, iterations)
+					}
+					if v.name == "bounded-cache" {
+						var evictions int64
+						for _, as := range res.AgentStats {
+							evictions += as.CacheEvictions
+						}
+						if evictions == 0 {
+							t.Fatal("bounded cell drove no evictions — the bound is not binding")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// bitEqual compares two float64s bit for bit, treating equal-signed
+// infinities as equal (unreached SSSP/BFS distances are +Inf).
+func bitEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

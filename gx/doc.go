@@ -44,6 +44,19 @@
 // misses, evictions, and dirty spills, making the hit-rate/capacity
 // trade-off (Fig 11a-adjacent; `gxbench -exp cachecap`) observable.
 //
+// A [Suite] batches named scenarios into one JSON-round-tripping unit
+// (`gxrun -suite file.json`), executed by [RunSuite] on a bounded
+// concurrent pool ([WithPool]). Each distinct (dataset, scale, seed) is
+// loaded exactly once and each graph partitioned once per (engine,
+// nodes) through a shared [DatasetCache] — safe because graphs and
+// partitionings are immutable — and concurrency is a wall-clock
+// optimization only: a suite at any pool size is bit-identical to
+// running its entries serially. Per-entry results stream in suite order
+// via [WithEntryDone], per-superstep reports aggregate into
+// [EntryTotals] (and fan out to [WithSuiteObserver]), and a failed entry
+// records its error without aborting the batch. [WithCache] shares one
+// cache across suites.
+//
 // Algorithms implement [Algorithm], the three-function GX-Plug template
 // (MSGGen / MSGMerge / MSGApply) re-exported here so external code never
 // imports internal packages.

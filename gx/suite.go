@@ -1,0 +1,332 @@
+package gx
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SuiteEntry is one named run of a suite: a [Scenario] plus the name its
+// results are reported under. The scenario fields inline into the
+// entry's JSON object, so an entry file reads exactly like a scenario
+// file with a "name" key.
+type SuiteEntry struct {
+	// Name identifies the entry in results, observer callbacks and CLI
+	// output. Empty names default to "entry-NN" (the entry's index).
+	Name string `json:"name,omitempty"`
+	Scenario
+}
+
+// Suite is an ordered set of named scenarios executed as one batch by
+// [RunSuite]. Like [Scenario], a suite round-trips through JSON — `gxrun
+// -suite file.json` and programmatic callers describe identical batches.
+type Suite struct {
+	// Name labels the suite in reports; optional.
+	Name string `json:"name,omitempty"`
+	// Entries run concurrently on a bounded pool, with results reported
+	// in this order regardless of completion order.
+	Entries []SuiteEntry `json:"entries"`
+}
+
+// WithDefaults returns the suite with every entry's scenario defaults
+// applied and empty entry names replaced by "entry-NN". RunSuite and
+// Validate apply it internally.
+func (s Suite) WithDefaults() Suite {
+	entries := make([]SuiteEntry, len(s.Entries))
+	copy(entries, s.Entries)
+	for i := range entries {
+		entries[i].Scenario = entries[i].Scenario.WithDefaults()
+		if entries[i].Name == "" {
+			entries[i].Name = fmt.Sprintf("entry-%02d", i)
+		}
+	}
+	s.Entries = entries
+	return s
+}
+
+// Validate checks the suite: at least one entry, unique entry names, and
+// every scenario valid. Like Scenario.Validate it reports every problem
+// found, each prefixed with the entry name it belongs to.
+func (s Suite) Validate() error {
+	s = s.WithDefaults()
+	var errs []error
+	if len(s.Entries) == 0 {
+		errs = append(errs, errors.New("suite: no entries"))
+	}
+	seen := make(map[string]bool, len(s.Entries))
+	for _, e := range s.Entries {
+		if seen[e.Name] {
+			errs = append(errs, fmt.Errorf("suite: duplicate entry name %q", e.Name))
+		}
+		seen[e.Name] = true
+		if err := e.Scenario.validate(provided{}); err != nil {
+			errs = append(errs, fmt.Errorf("suite entry %q: %w", e.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// ParseSuite decodes a suite from JSON. Unknown fields are errors, so
+// typos in suite files fail loudly instead of silently defaulting.
+func ParseSuite(data []byte) (Suite, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Suite
+	if err := dec.Decode(&s); err != nil {
+		return Suite{}, fmt.Errorf("gx: parse suite: %w", err)
+	}
+	return s, nil
+}
+
+// LoadSuite reads and decodes a suite file.
+func LoadSuite(path string) (Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Suite{}, fmt.Errorf("gx: load suite: %w", err)
+	}
+	s, err := ParseSuite(data)
+	if err != nil {
+		return Suite{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// JSON encodes the suite as indented JSON. ParseSuite(s.JSON())
+// reproduces s exactly.
+func (s Suite) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// EntryTotals aggregates an entry's per-superstep observer reports into
+// per-entry totals — the roll-up counterpart of [Superstep].
+type EntryTotals struct {
+	// Supersteps counts observer reports (== Result.Iterations).
+	Supersteps int
+	// Messages and MessageBytes sum the cross-node traffic.
+	Messages, MessageBytes int64
+	// MirrorUpdates sums master→mirror broadcasts.
+	MirrorUpdates int
+	// SkippedSyncs counts supersteps whose synchronization was skipped.
+	SkippedSyncs int
+	// Cache* sum the synchronization-cache activity over all supersteps.
+	CacheHits, CacheMisses, CacheEvictions, CacheDirtySpills int64
+}
+
+func (t *EntryTotals) add(st Superstep) {
+	t.Supersteps++
+	t.Messages += st.Messages
+	t.MessageBytes += st.MessageBytes
+	t.MirrorUpdates += st.MirrorUpdates
+	if st.SkippedSync {
+		t.SkippedSyncs++
+	}
+	t.CacheHits += st.CacheHits
+	t.CacheMisses += st.CacheMisses
+	t.CacheEvictions += st.CacheEvictions
+	t.CacheDirtySpills += st.CacheDirtySpills
+}
+
+// EntryResult is the outcome of one suite entry.
+type EntryResult struct {
+	// Name is the entry's (defaulted) name.
+	Name string
+	// Scenario is the defaults-applied scenario that ran.
+	Scenario Scenario
+	// Result is the run outcome; nil when Err is set.
+	Result *Result
+	// Totals aggregates the entry's per-superstep observer reports.
+	Totals EntryTotals
+	// Err records a failed entry. One failed entry does not abort the
+	// suite; the others still run.
+	Err error
+}
+
+// SuiteResult is the outcome of RunSuite: per-entry results in suite
+// order plus the cache activity that backed the batch.
+type SuiteResult struct {
+	// Name is the suite's name.
+	Name string
+	// Entries holds one result per suite entry, in suite order.
+	Entries []EntryResult
+	// Cache snapshots the dataset/partition cache at suite completion.
+	// With the default per-call cache, GraphLoads is exactly the number
+	// of distinct (dataset, scale, seed) triples the suite names.
+	Cache CacheStats
+}
+
+// Failed counts entries that ended in error.
+func (r *SuiteResult) Failed() int {
+	n := 0
+	for _, e := range r.Entries {
+		if e.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Err joins the entry errors (nil when every entry succeeded), each
+// prefixed with its entry name.
+func (r *SuiteResult) Err() error {
+	var errs []error
+	for _, e := range r.Entries {
+		if e.Err != nil {
+			errs = append(errs, fmt.Errorf("entry %q: %w", e.Name, e.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// suiteConfig collects what the suite options override.
+type suiteConfig struct {
+	pool  int
+	cache *DatasetCache
+	obs   func(entry string, st Superstep)
+	done  func(EntryResult)
+}
+
+// SuiteOption configures RunSuite.
+type SuiteOption func(*suiteConfig)
+
+// WithPool bounds the number of entries executing concurrently. The
+// default is GOMAXPROCS. Pool size changes wall-clock time only: results,
+// virtual times and reporting order are identical at every size.
+func WithPool(n int) SuiteOption { return func(c *suiteConfig) { c.pool = n } }
+
+// WithCache runs the suite over an existing [DatasetCache] instead of a
+// fresh one, extending graph/partitioning reuse across RunSuite calls.
+func WithCache(cache *DatasetCache) SuiteOption {
+	return func(c *suiteConfig) { c.cache = cache }
+}
+
+// WithSuiteObserver attaches a per-superstep observer to every entry,
+// called with the entry's name. Suite callbacks (this one and the
+// WithEntryDone callback) are serialized against each other — they
+// never run concurrently — so both may share unsynchronized state such
+// as an output stream. Reports for one entry arrive in superstep order;
+// with a pool larger than one, reports of different entries interleave
+// in completion order.
+func WithSuiteObserver(fn func(entry string, st Superstep)) SuiteOption {
+	return func(c *suiteConfig) { c.obs = fn }
+}
+
+// WithEntryDone streams per-entry results as they are finalized. The
+// callback is serialized against itself and the WithSuiteObserver
+// callback, and always invoked in suite order — entry i is reported
+// only after entries 0..i-1 — so streaming consumers see one
+// deterministic sequence no matter the pool size, at the cost of
+// buffering results that finish out of order.
+func WithEntryDone(fn func(EntryResult)) SuiteOption {
+	return func(c *suiteConfig) { c.done = fn }
+}
+
+// RunSuite validates the suite and executes its entries concurrently on
+// a bounded pool, loading each distinct (dataset, scale, seed) exactly
+// once and partitioning each loaded graph once per (engine, nodes)
+// through a [DatasetCache]. Each entry otherwise runs exactly as
+// [Run] would run it: per-run virtual clocks, agents and algorithm
+// instances are private, and graphs/partitionings are immutable, so a
+// concurrent suite is bit-identical — results and per-entry virtual
+// times — to running the same entries serially.
+//
+// A failed entry records its error in the corresponding [EntryResult]
+// and does not stop the rest of the suite; RunSuite itself errors only
+// on invalid input.
+func RunSuite(suite Suite, opts ...SuiteOption) (*SuiteResult, error) {
+	cfg := suiteConfig{pool: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	if cfg.pool < 1 {
+		return nil, fmt.Errorf("gx: suite pool %d (want ≥ 1)", cfg.pool)
+	}
+	suite = suite.WithDefaults()
+	if err := suite.Validate(); err != nil {
+		return nil, err
+	}
+	cache := cfg.cache
+	if cache == nil {
+		cache = NewDatasetCache()
+	}
+
+	n := len(suite.Entries)
+	results := make([]EntryResult, n)
+
+	// cbMu serializes every user callback — the per-superstep observer
+	// and the entry-done stream — across concurrently running entries,
+	// so the two may share unsynchronized state (e.g. one stdout).
+	var cbMu sync.Mutex
+	finished := make([]bool, n)
+	emitted := 0
+
+	workers := cfg.pool
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				results[i] = runSuiteEntry(suite.Entries[i], cache, &cbMu, cfg.obs)
+				if cfg.done == nil {
+					continue
+				}
+				cbMu.Lock()
+				finished[i] = true
+				for emitted < n && finished[emitted] {
+					cfg.done(results[emitted])
+					emitted++
+				}
+				cbMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	return &SuiteResult{Name: suite.Name, Entries: results, Cache: cache.Stats()}, nil
+}
+
+// runSuiteEntry executes one defaults-applied entry against the shared
+// cache, aggregating its superstep reports into totals. cbMu is the
+// suite-wide callback lock shared with entry-done emission.
+func runSuiteEntry(e SuiteEntry, cache *DatasetCache, cbMu *sync.Mutex, obs func(string, Superstep)) EntryResult {
+	er := EntryResult{Name: e.Name, Scenario: e.Scenario}
+	g, err := cache.Graph(e.Dataset, e.Scale, e.Seed)
+	if err != nil {
+		er.Err = err
+		return er
+	}
+	part, err := cache.Partitioning(g, e.Engine, e.Nodes)
+	if err != nil {
+		er.Err = err
+		return er
+	}
+	er.Result, er.Err = Run(e.Scenario,
+		WithGraph(g),
+		WithPartitioning(part),
+		WithObserver(func(st Superstep) {
+			er.Totals.add(st)
+			if obs != nil {
+				cbMu.Lock()
+				obs(e.Name, st)
+				cbMu.Unlock()
+			}
+		}),
+	)
+	return er
+}

@@ -11,80 +11,12 @@ import (
 	"gxplug/internal/gxplug/template"
 )
 
-// ctxFor builds a template context over a graph.
-func ctxFor(g *graph.Graph) *template.Context {
-	return &template.Context{
-		NumVertices: g.NumVertices(),
-		OutDeg:      func(v graph.VertexID) int { return g.OutDegree(v) },
-		InDeg:       func(v graph.VertexID) int { return g.InDegree(v) },
-	}
-}
-
-// runTemplate executes an algorithm through the template interface with a
-// plain sequential driver — the oracle for engine implementations and a
-// direct test that the three-API decomposition computes the right thing.
+// runTemplate executes an algorithm through the template interface with
+// the package's sequential reference driver — the oracle for engine
+// implementations and a direct test that the three-API decomposition
+// computes the right thing.
 func runTemplate(g *graph.Graph, a template.Algorithm) ([]float64, int) {
-	n := g.NumVertices()
-	aw, mw := a.AttrWidth(), a.MsgWidth()
-	ctx := ctxFor(g)
-	attrs := make([]float64, n*aw)
-	for v := 0; v < n; v++ {
-		a.Init(ctx, graph.VertexID(v), attrs[v*aw:(v+1)*aw])
-	}
-	active := template.InitialFrontier(a, n)
-	hints := a.Hints()
-	iters := 0
-	for {
-		if hints.MaxIterations > 0 && iters >= hints.MaxIterations {
-			break
-		}
-		anyActive := hints.GenAll
-		for _, ac := range active {
-			if ac {
-				anyActive = true
-				break
-			}
-		}
-		if !anyActive && !hints.ApplyAll {
-			break
-		}
-
-		ctx.Iteration = iters
-		acc := make([]float64, n*mw)
-		recv := make([]bool, n)
-		for v := 0; v < n; v++ {
-			a.MergeIdentity(acc[v*mw : (v+1)*mw])
-		}
-		for v := 0; v < n; v++ {
-			if !hints.GenAll && !active[v] {
-				continue
-			}
-			src := graph.VertexID(v)
-			g.OutEdges(src, func(dst graph.VertexID, w float64) {
-				a.MSGGen(ctx, src, dst, w, attrs[v*aw:(v+1)*aw], func(d graph.VertexID, msg []float64) {
-					a.MSGMerge(acc[int(d)*mw:int(d)*mw+mw], msg)
-					recv[d] = true
-				})
-			})
-		}
-		next := make([]bool, n)
-		changed := false
-		for v := 0; v < n; v++ {
-			if !recv[v] && !hints.ApplyAll {
-				continue
-			}
-			if a.MSGApply(ctx, graph.VertexID(v), attrs[v*aw:(v+1)*aw], acc[v*mw:(v+1)*mw], recv[v]) {
-				next[v] = true
-				changed = true
-			}
-		}
-		active = next
-		iters++
-		if !changed {
-			break
-		}
-	}
-	return attrs, iters
+	return Sequential(g, a)
 }
 
 func smallSocial(t *testing.T) *graph.Graph {

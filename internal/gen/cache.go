@@ -1,0 +1,78 @@
+package gen
+
+import (
+	"gxplug/internal/graph"
+	"gxplug/internal/memo"
+)
+
+// Cache memoizes Load by (dataset, scale, seed). Graphs are immutable
+// CSR, so one instance can back any number of concurrent runs; the cache
+// is the single-load guarantee behind suite execution and the harness
+// sweeps — a batch touching D distinct triples invokes the generators
+// exactly D times no matter how many runs share them.
+//
+// Loads are single-flight (see internal/memo), and errors are memoized
+// too: generation is deterministic, so retrying cannot succeed. Entries
+// live until Purge; at the repo's benchmark scales a graph is a few
+// megabytes, so retention is the point, not a leak.
+type Cache struct {
+	t *memo.Table[cacheKey, loadResult]
+}
+
+type cacheKey struct {
+	d           Dataset
+	scale, seed int64
+}
+
+type loadResult struct {
+	g   *graph.Graph
+	err error
+}
+
+// CacheStats snapshots a cache's activity.
+type CacheStats struct {
+	// Hits counts Load calls answered by an existing entry (including
+	// calls that blocked on a load already in flight).
+	Hits int64
+	// Loads counts generator invocations — the number of distinct
+	// (dataset, scale, seed) triples ever requested.
+	Loads int64
+}
+
+// NewCache returns an empty dataset cache.
+func NewCache() *Cache {
+	return &Cache{t: memo.NewTable[cacheKey, loadResult]()}
+}
+
+// Load returns the memoized graph for (d, scale, seed), generating it on
+// first request. Safe for concurrent use.
+func (c *Cache) Load(d Dataset, scale, seed int64) (*graph.Graph, error) {
+	r := c.t.Get(cacheKey{d: d, scale: scale, seed: seed}, func() loadResult {
+		g, err := Load(d, scale, seed)
+		return loadResult{g: g, err: err}
+	})
+	return r.g, r.err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	s := c.t.Stats()
+	return CacheStats{Hits: s.Hits, Loads: s.Entries}
+}
+
+// Purge drops every entry and zeroes the counters.
+func (c *Cache) Purge() { c.t.Purge() }
+
+// shared is the process-wide cache behind LoadShared.
+var shared = NewCache()
+
+// LoadShared is Load through a process-wide shared cache. The harness
+// figure generators route every dataset load through it, so a full
+// `gxbench -exp all` sweep generates each (dataset, scale, seed) once
+// and every later experiment reuses the instance.
+func LoadShared(d Dataset, scale, seed int64) (*graph.Graph, error) {
+	return shared.Load(d, scale, seed)
+}
+
+// SharedStats snapshots the process-wide cache used by LoadShared.
+func SharedStats() CacheStats { return shared.Stats() }

@@ -1,0 +1,102 @@
+package gen
+
+import (
+	"sync"
+	"testing"
+)
+
+// A cache must hand back the identical instance for a repeated key and
+// invoke the generator exactly once per distinct triple.
+func TestCacheSingleLoadPerKey(t *testing.T) {
+	c := NewCache()
+	a, err := c.Load(Orkut, 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Load(Orkut, 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("repeated key returned a different graph instance")
+	}
+	if _, err := c.Load(Orkut, 20000, 7); err != nil { // distinct seed
+		t.Fatal(err)
+	}
+	if _, err := c.Load(WRN, 20000, 42); err != nil { // distinct dataset
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Loads != 3 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want 3 loads / 1 hit", st)
+	}
+}
+
+// Concurrent requests for one missing key are single-flight: every
+// caller gets the same instance and the generator runs once.
+func TestCacheConcurrentSingleFlight(t *testing.T) {
+	c := NewCache()
+	const callers = 16
+	graphs := make([]any, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := c.Load(LiveJournal, 40000, 42)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			graphs[i] = g
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatalf("caller %d got a different instance", i)
+		}
+	}
+	st := c.Stats()
+	if st.Loads != 1 {
+		t.Fatalf("%d loads for one key", st.Loads)
+	}
+	if st.Hits != callers-1 {
+		t.Fatalf("%d hits for %d callers", st.Hits, callers)
+	}
+}
+
+// Errors are memoized: a bad scale fails identically on every call
+// without growing the load count past the one entry.
+func TestCacheMemoizesErrors(t *testing.T) {
+	c := NewCache()
+	if _, err := c.Load(Orkut, 0, 42); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := c.Load(Orkut, 0, 42); err == nil {
+		t.Fatal("memoized error lost")
+	}
+	if st := c.Stats(); st.Loads != 1 {
+		t.Fatalf("error entry counted %d loads", st.Loads)
+	}
+}
+
+// Purge empties the cache: the next load regenerates.
+func TestCachePurge(t *testing.T) {
+	c := NewCache()
+	a, err := c.Load(Syn4m, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Purge()
+	if st := c.Stats(); st.Loads != 0 || st.Hits != 0 {
+		t.Fatalf("purge left stats %+v", st)
+	}
+	b, err := c.Load(Syn4m, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("purged cache returned the old instance")
+	}
+}

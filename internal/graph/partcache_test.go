@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func cacheTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	edges := []Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1}, {Src: 3, Dst: 0, Weight: 1},
+		{Src: 0, Dst: 2, Weight: 1}, {Src: 1, Dst: 3, Weight: 1},
+	}
+	return MustFromEdges(4, edges)
+}
+
+// One build per (graph, strategy, nodes) key; repeats share the instance.
+func TestPartitionCacheMemoizes(t *testing.T) {
+	g := cacheTestGraph(t)
+	c := NewPartitionCache()
+	var builds atomic.Int64
+	build := func(g *Graph, m int) *Partitioning {
+		builds.Add(1)
+		return EdgeCutByHash(g, m)
+	}
+	a := c.Get(g, "graphx", 2, build)
+	b := c.Get(g, "graphx", 2, build)
+	if a != b {
+		t.Fatal("repeated key returned a different partitioning")
+	}
+	if a.NumNodes() != 2 {
+		t.Fatalf("partitioning has %d nodes", a.NumNodes())
+	}
+	// Distinct strategy and distinct node count are distinct keys.
+	if c.Get(g, "powergraph", 2, build) == a {
+		t.Fatal("strategy not part of the key")
+	}
+	if c.Get(g, "graphx", 3, build) == a {
+		t.Fatal("node count not part of the key")
+	}
+	if n := builds.Load(); n != 3 {
+		t.Fatalf("%d builds, want 3", n)
+	}
+	st := c.Stats()
+	if st.Builds != 3 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want 3 builds / 1 hit", st)
+	}
+}
+
+// Two structurally identical graphs are distinct keys: identity, not
+// topology, addresses the cache.
+func TestPartitionCacheKeyedByInstance(t *testing.T) {
+	g1, g2 := cacheTestGraph(t), cacheTestGraph(t)
+	c := NewPartitionCache()
+	build := func(g *Graph, m int) *Partitioning { return EdgeCutByRange(g, m) }
+	if c.Get(g1, "s", 2, build) == c.Get(g2, "s", 2, build) {
+		t.Fatal("distinct graph instances shared an entry")
+	}
+	if st := c.Stats(); st.Builds != 2 {
+		t.Fatalf("%d builds for two instances", st.Builds)
+	}
+}
+
+// Concurrent first requests are single-flight.
+func TestPartitionCacheConcurrent(t *testing.T) {
+	g := cacheTestGraph(t)
+	c := NewPartitionCache()
+	var builds atomic.Int64
+	const callers = 12
+	out := make([]*Partitioning, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = c.Get(g, "vc", 3, func(g *Graph, m int) *Partitioning {
+				builds.Add(1)
+				return GreedyVertexCut(g, m)
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if out[i] != out[0] {
+			t.Fatalf("caller %d got a different partitioning", i)
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds under contention", n)
+	}
+	if err := out[0].Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Purge resets entries and counters.
+func TestPartitionCachePurge(t *testing.T) {
+	g := cacheTestGraph(t)
+	c := NewPartitionCache()
+	build := func(g *Graph, m int) *Partitioning { return EdgeCutByHash(g, m) }
+	a := c.Get(g, "s", 2, build)
+	c.Purge()
+	if st := c.Stats(); st.Builds != 0 || st.Hits != 0 {
+		t.Fatalf("purge left stats %+v", st)
+	}
+	if c.Get(g, "s", 2, build) == a {
+		t.Fatal("purged cache returned the old instance")
+	}
+}

@@ -26,34 +26,71 @@ const (
 
 const tripletBytes = 4 + 4 + 4 + 4 + 8 // src, dst, srcRow, dstRow, w
 
-// genBlockSize returns the segment bytes needed for a Gen block with
-// result area.
-func genBlockSize(nTriplets, nVerts, attrW, msgW int) int {
-	header := 6 * 4
+// maxBlockDim bounds every count decoded from a segment header. Real
+// blocks are orders of magnitude smaller; the bound exists so that a
+// corrupted header claiming 2^32-scale geometry cannot overflow the
+// size arithmetic below (always performed in int64, so the guarantee
+// holds on 32-bit platforms too) and slip past the truncation checks.
+const maxBlockDim = 1 << 28
+
+// dimsOK reports whether every decoded count is a plausible block
+// dimension.
+func dimsOK(dims ...int) bool {
+	for _, d := range dims {
+		if d < 0 || d > maxBlockDim {
+			return false
+		}
+	}
+	return true
+}
+
+// genBlockSize64 returns the segment bytes needed for a Gen block with
+// result area. Decoders use the int64 form so that hostile header
+// counts (bounded by maxBlockDim) cannot overflow even where int is 32
+// bits.
+func genBlockSize64(nTriplets, nVerts, attrW, msgW int64) int64 {
+	header := int64(6 * 4)
 	trips := nTriplets * tripletBytes
 	ids := nVerts * 4
 	attrs := nVerts * attrW * 8
 	acc := nVerts * msgW * 8
 	recv := nVerts
-	cost := 8
+	cost := int64(8)
 	return header + trips + ids + attrs + acc + recv + cost
 }
 
-// applyBlockSize returns the segment bytes for an Apply block.
-func applyBlockSize(nVerts, attrW, msgW int) int {
-	header := 4 * 4
+// genBlockSize is the trusted-geometry form used on encode paths.
+func genBlockSize(nTriplets, nVerts, attrW, msgW int) int {
+	return int(genBlockSize64(int64(nTriplets), int64(nVerts), int64(attrW), int64(msgW)))
+}
+
+// applyBlockSize64 returns the segment bytes for an Apply block (int64
+// for the same reason as genBlockSize64).
+func applyBlockSize64(nVerts, attrW, msgW int64) int64 {
+	header := int64(4 * 4)
 	ids := nVerts * 4
 	attrs := nVerts * attrW * 8
 	msgs := nVerts * msgW * 8
 	recv := nVerts
 	changed := nVerts
-	cost := 8
+	cost := int64(8)
 	return header + ids + attrs + msgs + recv + changed + cost
 }
 
-// mergeBlockSize returns the segment bytes for a Merge block.
-func mergeBlockSize(rows, msgW int) int {
+// applyBlockSize is the trusted-geometry form used on encode paths.
+func applyBlockSize(nVerts, attrW, msgW int) int {
+	return int(applyBlockSize64(int64(nVerts), int64(attrW), int64(msgW)))
+}
+
+// mergeBlockSize64 returns the segment bytes for a Merge block (int64
+// for the same reason as genBlockSize64).
+func mergeBlockSize64(rows, msgW int64) int64 {
 	return 3*4 + 2*rows*msgW*8 + 8
+}
+
+// mergeBlockSize is the trusted-geometry form used on encode paths.
+func mergeBlockSize(rows, msgW int) int {
+	return int(mergeBlockSize64(int64(rows), int64(msgW)))
 }
 
 type cursor struct {
@@ -140,6 +177,9 @@ func encodeGenBlock(seg []byte, eb *graph.EdgeBlock, vb *graph.VertexBlock, msgW
 
 // decodeGenBlock reads the agent's payload back out of a segment.
 func decodeGenBlock(seg []byte) (eb *graph.EdgeBlock, vb *graph.VertexBlock, msgW int, resident bool, resultOff int, err error) {
+	if len(seg) < 6*4 {
+		return nil, nil, 0, false, 0, fmt.Errorf("gxplug: gen block header truncated (%d bytes)", len(seg))
+	}
 	c := &cursor{buf: seg}
 	if kind := c.rdU32(); kind != blockKindGen {
 		return nil, nil, 0, false, 0, fmt.Errorf("gxplug: segment kind %#x, want gen block", kind)
@@ -149,7 +189,10 @@ func decodeGenBlock(seg []byte) (eb *graph.EdgeBlock, vb *graph.VertexBlock, msg
 	attrW := int(c.rdU32())
 	msgW = int(c.rdU32())
 	resident = c.rdU32() != 0
-	if genBlockSize(nT, nV, attrW, msgW) > len(seg) {
+	if !dimsOK(nT, nV, attrW, msgW) {
+		return nil, nil, 0, false, 0, fmt.Errorf("gxplug: implausible gen block geometry %d/%d/%d/%d", nT, nV, attrW, msgW)
+	}
+	if genBlockSize64(int64(nT), int64(nV), int64(attrW), int64(msgW)) > int64(len(seg)) {
 		return nil, nil, 0, false, 0, fmt.Errorf("gxplug: truncated gen block")
 	}
 	eb = &graph.EdgeBlock{Triplets: make([]graph.Triplet, nT)}
@@ -245,6 +288,9 @@ func encodeApplyBlock(seg []byte, ids []graph.VertexID, attrs []float64, attrW i
 
 // decodeApplyBlock reads an apply batch on the daemon side.
 func decodeApplyBlock(seg []byte) (ids []graph.VertexID, attrs []float64, attrW int, msgs []float64, msgW int, recv []bool, resultOff int, err error) {
+	if len(seg) < 4*4 {
+		return nil, nil, 0, nil, 0, nil, 0, fmt.Errorf("gxplug: apply block header truncated (%d bytes)", len(seg))
+	}
 	c := &cursor{buf: seg}
 	if kind := c.rdU32(); kind != blockKindApply {
 		return nil, nil, 0, nil, 0, nil, 0, fmt.Errorf("gxplug: segment kind %#x, want apply block", kind)
@@ -252,7 +298,10 @@ func decodeApplyBlock(seg []byte) (ids []graph.VertexID, attrs []float64, attrW 
 	n := int(c.rdU32())
 	attrW = int(c.rdU32())
 	msgW = int(c.rdU32())
-	if applyBlockSize(n, attrW, msgW) > len(seg) {
+	if !dimsOK(n, attrW, msgW) {
+		return nil, nil, 0, nil, 0, nil, 0, fmt.Errorf("gxplug: implausible apply block geometry %d/%d/%d", n, attrW, msgW)
+	}
+	if applyBlockSize64(int64(n), int64(attrW), int64(msgW)) > int64(len(seg)) {
 		return nil, nil, 0, nil, 0, nil, 0, fmt.Errorf("gxplug: truncated apply block")
 	}
 	ids = make([]graph.VertexID, n)
@@ -341,13 +390,19 @@ func encodeMergeBlock(seg []byte, accA, accB []float64, msgW int) (int, error) {
 
 // decodeMergeBlock reads the two accumulators on the daemon side.
 func decodeMergeBlock(seg []byte) (accA, accB []float64, msgW, resultOff int, err error) {
+	if len(seg) < 3*4 {
+		return nil, nil, 0, 0, fmt.Errorf("gxplug: merge block header truncated (%d bytes)", len(seg))
+	}
 	c := &cursor{buf: seg}
 	if kind := c.rdU32(); kind != blockKindMerge {
 		return nil, nil, 0, 0, fmt.Errorf("gxplug: segment kind %#x, want merge block", kind)
 	}
 	rows := int(c.rdU32())
 	msgW = int(c.rdU32())
-	if mergeBlockSize(rows, msgW) > len(seg) {
+	if !dimsOK(rows, msgW) {
+		return nil, nil, 0, 0, fmt.Errorf("gxplug: implausible merge block geometry %d/%d", rows, msgW)
+	}
+	if mergeBlockSize64(int64(rows), int64(msgW)) > int64(len(seg)) {
 		return nil, nil, 0, 0, fmt.Errorf("gxplug: truncated merge block")
 	}
 	accA = make([]float64, rows*msgW)

@@ -1,0 +1,182 @@
+package gxplug
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"gxplug/internal/algos"
+	"gxplug/internal/graph"
+)
+
+// FuzzOutboxRouting drives the dense/overflow routing boundary: the same
+// fuzz-derived message stream goes into a wide outbox (every id dense),
+// a narrow outbox (most ids overflow) and a plain map reference. All
+// three must agree bit for bit on the merged messages and on the
+// deterministic visit order, across Reset reuse.
+func FuzzOutboxRouting(f *testing.F) {
+	f.Add([]byte("dense-and-overflow"))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251, 252})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		alg := algos.NewSSSPBF([]graph.VertexID{0, 1})
+		mw := alg.MsgWidth()
+		r := &fzr{data: data}
+
+		const denseWide, denseNarrow, idSpace = 64, 8, 64
+		wide := NewOutbox(alg, denseWide, mw)     // every id on the dense path
+		narrow := NewOutbox(alg, denseNarrow, mw) // ids >= 8 overflow
+
+		for round := 0; round < 2; round++ {
+			wide.Reset(alg)
+			narrow.Reset(alg)
+			ref := make(map[graph.VertexID][]float64)
+			refOrder := []graph.VertexID{}
+
+			nOps := int(r.byte()) % 64
+			msg := make([]float64, mw)
+			for op := 0; op < nOps; op++ {
+				id := graph.VertexID(int(r.byte()) % idSpace)
+				for k := range msg {
+					// Finite non-negative values: SSSP merges by min, so
+					// the reference merge below is order-independent and
+					// bit-exact.
+					msg[k] = float64(r.u32())
+				}
+				wide.Add(alg, id, msg)
+				narrow.Add(alg, id, msg)
+				acc, ok := ref[id]
+				if !ok {
+					acc = make([]float64, mw)
+					alg.MergeIdentity(acc)
+					ref[id] = acc
+					refOrder = append(refOrder, id)
+				}
+				alg.MSGMerge(acc, msg)
+			}
+
+			if wide.Len() != len(ref) || narrow.Len() != len(ref) {
+				t.Fatalf("round %d: lengths %d/%d, reference %d", round, wide.Len(), narrow.Len(), len(ref))
+			}
+			collect := func(ob *Outbox) (ids []graph.VertexID, rows [][]float64) {
+				ob.Each(func(id graph.VertexID, m []float64) {
+					cp := make([]float64, len(m))
+					copy(cp, m)
+					ids = append(ids, id)
+					rows = append(rows, cp)
+				})
+				return
+			}
+			wIDs, wRows := collect(wide)
+			nIDs, nRows := collect(narrow)
+
+			// The wide outbox visits in first-touch order — exactly the
+			// reference insertion order.
+			for i, id := range wIDs {
+				if id != refOrder[i] {
+					t.Fatalf("round %d: dense visit order[%d] = %d, want %d", round, i, id, refOrder[i])
+				}
+			}
+			// The narrow outbox visits dense first-touch order, then
+			// overflow ascending: a permutation of the same set.
+			sortedCopy := func(ids []graph.VertexID) []graph.VertexID {
+				out := append([]graph.VertexID(nil), ids...)
+				sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+				return out
+			}
+			ws, ns := sortedCopy(wIDs), sortedCopy(nIDs)
+			for i := range ws {
+				if ws[i] != ns[i] {
+					t.Fatalf("round %d: destination sets differ at %d", round, i)
+				}
+			}
+			check := func(label string, ids []graph.VertexID, rows [][]float64) {
+				for i, id := range ids {
+					want := ref[id]
+					for k := range want {
+						if math.Float64bits(rows[i][k]) != math.Float64bits(want[k]) {
+							t.Fatalf("round %d: %s id %d slot %d = %v, reference %v",
+								round, label, id, k, rows[i][k], want[k])
+						}
+					}
+				}
+			}
+			check("dense", wIDs, wRows)
+			check("overflow", nIDs, nRows)
+		}
+	})
+}
+
+// FuzzInboxFromMap checks the legacy map → dense inbox bridge against
+// direct Merge calls: identical accumulators for any message set, and a
+// loud error — never silent misdelivery — for ids outside the master
+// list.
+func FuzzInboxFromMap(f *testing.F) {
+	f.Add([]byte("masters"))
+	f.Add([]byte{1, 3, 5, 7, 9, 11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		alg := algos.NewSSSPBF([]graph.VertexID{0})
+		mw := alg.MsgWidth()
+		r := &fzr{data: data}
+
+		// Ascending masters over a sparse id space.
+		nM := 1 + int(r.byte())%16
+		masters := make([]graph.VertexID, nM)
+		next := graph.VertexID(0)
+		for i := range masters {
+			next += 1 + graph.VertexID(r.byte()%4)
+			masters[i] = next
+		}
+		row := make(map[graph.VertexID]int32, nM)
+		for i, v := range masters {
+			row[v] = int32(i)
+		}
+
+		incoming := make(map[graph.VertexID][]float64)
+		direct := NewInbox(alg, nM, mw)
+		nMsgs := int(r.byte()) % 24
+		stray := false
+		msg := make([]float64, mw)
+		for i := 0; i < nMsgs; i++ {
+			id := masters[int(r.byte())%nM]
+			if r.byte()%8 == 0 { // occasionally target a non-master
+				id++
+				if _, isMaster := row[id]; !isMaster {
+					stray = true
+				}
+			}
+			for k := range msg {
+				msg[k] = float64(r.u32())
+			}
+			acc, ok := incoming[id]
+			if !ok {
+				acc = make([]float64, mw)
+				alg.MergeIdentity(acc)
+				incoming[id] = acc
+			}
+			alg.MSGMerge(acc, msg)
+			if mi, isMaster := row[id]; isMaster {
+				direct.Merge(alg, mi, msg)
+			}
+		}
+
+		in, err := InboxFromMap(alg, masters, mw, incoming)
+		if stray {
+			if err == nil {
+				t.Fatal("message for a non-master accepted silently")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid message map rejected: %v", err)
+		}
+		if in.Len() != direct.Len() {
+			t.Fatalf("bridge holds %d rows, direct %d", in.Len(), direct.Len())
+		}
+		for mi := int32(0); mi < int32(nM); mi++ {
+			if !bitsEq(in.Row(mi), direct.Row(mi)) {
+				t.Fatalf("master row %d: bridge %v, direct %v", mi, in.Row(mi), direct.Row(mi))
+			}
+		}
+	})
+}

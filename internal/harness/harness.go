@@ -75,12 +75,15 @@ func NodesForGPUs(gpus int) (nodes, gpusPerNode int) {
 	return nodes, 2
 }
 
-// load generates a dataset stand-in.
+// load resolves a dataset stand-in through the process-wide dataset
+// cache: every figure generator routes its loads here, so a full
+// `gxbench -exp all` sweep generates each distinct (dataset, scale,
+// seed) once and later experiments reuse the immutable instance.
 func load(d gen.Dataset, o Options) (*graph.Graph, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	return gen.Load(d, o.Scale, o.Seed)
+	return gen.LoadShared(d, o.Scale, o.Seed)
 }
 
 // seconds renders durations the way the figures label their axes.

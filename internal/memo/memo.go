@@ -1,0 +1,69 @@
+// Package memo provides the concurrency-safe single-flight memoization
+// table behind the repository's dataset and partition caches. It exists
+// so the caches share one implementation of the lock/lookup/once dance
+// — and one definition of its accounting — instead of three.
+package memo
+
+import "sync"
+
+// Table memoizes values by key. Builds are single-flight: when several
+// goroutines ask for the same missing key at once, one builds while the
+// rest block on the same entry, then all receive the identical value.
+// Values are built at most once per key and retained until Purge, so V
+// should be immutable (or an immutable result wrapper).
+type Table[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*entry[V]
+	hits    int64
+}
+
+type entry[V any] struct {
+	once sync.Once
+	v    V
+}
+
+// Stats snapshots a table's activity.
+type Stats struct {
+	// Hits counts Get calls that found an existing entry — including
+	// callers that blocked on a build still in flight.
+	Hits int64
+	// Entries counts distinct keys ever requested (== builds invoked).
+	Entries int64
+}
+
+// NewTable returns an empty table.
+func NewTable[K comparable, V any]() *Table[K, V] {
+	return &Table[K, V]{entries: make(map[K]*entry[V])}
+}
+
+// Get returns the memoized value for key, invoking build on first
+// request. Safe for concurrent use; build runs without the table lock
+// held, so builds for distinct keys proceed in parallel.
+func (t *Table[K, V]) Get(key K, build func() V) V {
+	t.mu.Lock()
+	e, ok := t.entries[key]
+	if !ok {
+		e = &entry[V]{}
+		t.entries[key] = e
+	} else {
+		t.hits++
+	}
+	t.mu.Unlock()
+	e.once.Do(func() { e.v = build() })
+	return e.v
+}
+
+// Stats returns a snapshot of the table counters.
+func (t *Table[K, V]) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{Hits: t.hits, Entries: int64(len(t.entries))}
+}
+
+// Purge drops every entry and zeroes the counters.
+func (t *Table[K, V]) Purge() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = make(map[K]*entry[V])
+	t.hits = 0
+}

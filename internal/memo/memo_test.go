@@ -1,0 +1,69 @@
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// One build per key; repeats hit; Purge resets.
+func TestTableMemoizes(t *testing.T) {
+	tab := NewTable[int, string]()
+	var builds atomic.Int64
+	get := func(k int) string {
+		return tab.Get(k, func() string {
+			builds.Add(1)
+			return "v"
+		})
+	}
+	if get(1) != "v" || get(1) != "v" || get(2) != "v" {
+		t.Fatal("wrong values")
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("%d builds, want 2", builds.Load())
+	}
+	if st := tab.Stats(); st.Entries != 2 || st.Hits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	tab.Purge()
+	if st := tab.Stats(); st.Entries != 0 || st.Hits != 0 {
+		t.Fatalf("purge left %+v", st)
+	}
+	get(1)
+	if builds.Load() != 3 {
+		t.Fatal("purged entry not rebuilt")
+	}
+}
+
+// Concurrent first requests for one key run the build exactly once and
+// all receive the identical value.
+func TestTableSingleFlight(t *testing.T) {
+	tab := NewTable[string, *int]()
+	var builds atomic.Int64
+	const callers = 16
+	got := make([]*int, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = tab.Get("k", func() *int {
+				builds.Add(1)
+				v := 7
+				return &v
+			})
+		}(i)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("%d builds under contention", builds.Load())
+	}
+	for i := 1; i < callers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d got a different instance", i)
+		}
+	}
+	if st := tab.Stats(); st.Hits != callers-1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
