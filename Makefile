@@ -66,13 +66,16 @@ cover:
 	done < COVERAGE_baseline.txt; \
 	rm -f $$out; exit $$rc
 
-# 10-second native-fuzzing smoke over the shared-memory codec and the
-# dense/overflow routing boundary (full corpora live in testdata/fuzz).
+# 10-second native-fuzzing smoke over the shared-memory codec, the
+# dense/overflow routing boundary, and the dataset-ingestion decoders
+# (full corpora live in each package's testdata/fuzz).
 fuzz-smoke:
 	$(GO) test ./internal/gxplug -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime=10s
 	$(GO) test ./internal/gxplug -run '^$$' -fuzz '^FuzzCodecDecodeNoPanic$$' -fuzztime=10s
 	$(GO) test ./internal/gxplug -run '^$$' -fuzz '^FuzzOutboxRouting$$' -fuzztime=10s
 	$(GO) test ./internal/gxplug -run '^$$' -fuzz '^FuzzInboxFromMap$$' -fuzztime=10s
+	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzSnapshotDecodeNoPanic$$' -fuzztime=10s
+	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzEdgeListParse$$' -fuzztime=10s
 
 ci: fmt vet build examples race race-boundedcache race-suite cover fuzz-smoke
 
@@ -80,3 +83,8 @@ ci: fmt vet build examples race race-boundedcache race-suite cover fuzz-smoke
 # BENCH_engine.json.
 bench:
 	$(GO) test ./internal/engine -run '^$$' -bench BenchmarkEngineSuperstep -benchmem | $(GO) run ./cmd/benchjson > BENCH_engine.json
+
+# Record the snapshot-load vs regeneration comparison in
+# BENCH_ingest.json (the ≥10× cold-start speedup of file-backed suites).
+bench-ingest:
+	$(GO) test ./internal/gen/ingest -run '^$$' -bench BenchmarkSnapshotLoad -benchmem | $(GO) run ./cmd/benchjson > BENCH_ingest.json

@@ -1,61 +1,148 @@
-// Command gxgen generates dataset stand-ins as edge-list files.
+// Command gxgen generates dataset stand-ins and converts real graphs
+// into the binary CSR snapshot format that `file:` datasets load.
 //
-//	gxgen -dataset orkut -scale 1000 -out orkut.el
+//	gxgen -dataset orkut -scale 1000 -out orkut.el          # edge list
+//	gxgen -export -dataset orkut -scale 1000 -out orkut.gxsnap
+//	gxgen -convert twitter.el -out twitter.gxsnap           # SNAP/TSV → snapshot
 //	gxgen -list
+//
+// -export writes any registered (dataset, scale, seed) as a snapshot;
+// running it via the `file:` dataset kind is bit-identical to
+// generating it in process, just ≥10× faster to load. -convert parses a
+// SNAP-style edge list or weighted TSV (deterministically relabeling
+// sparse vertex ids to a dense range) and writes the snapshot. Both
+// paths require -out: snapshots are binary.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"gxplug/gx"
 	"gxplug/internal/gen"
+	"gxplug/internal/gen/ingest"
 	"gxplug/internal/graph"
 )
 
+// errFlagParse marks flag-parsing failures the FlagSet has already
+// reported to stderr, so main does not print them twice.
+var errFlagParse = errors.New("gxgen: bad flags")
+
 func main() {
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	case errors.Is(err, errFlagParse):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gxgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dataset = flag.String("dataset", "orkut", "dataset name (see -list)")
-		scale   = flag.Int64("scale", 1000, "scale divisor against Table I sizes")
-		seed    = flag.Int64("seed", 42, "generator seed")
-		out     = flag.String("out", "", "output file (default stdout)")
-		list    = flag.Bool("list", false, "list datasets and exit")
+		dataset = fs.String("dataset", "orkut", "registered dataset name (see -list)")
+		scale   = fs.Int64("scale", 1000, "scale divisor against Table I sizes")
+		seed    = fs.Int64("seed", 42, "generator seed")
+		out     = fs.String("out", "", "output file (default stdout; required for -export/-convert)")
+		export  = fs.Bool("export", false, "write a binary CSR snapshot of the dataset instead of an edge list")
+		convert = fs.String("convert", "", "edge-list file to convert into a binary CSR snapshot (excludes -dataset/-scale/-seed/-export)")
+		list    = fs.Bool("list", false, "list datasets and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errFlagParse // the FlagSet already printed the details
+	}
 
 	if *list {
-		fmt.Println("datasets:")
-		for _, d := range append(gen.AllDatasets(), gen.Syn4m) {
+		fmt.Fprintln(stdout, "datasets:")
+		for _, d := range gen.Datasets() {
 			info, err := gen.Catalog(d)
 			if err != nil {
 				continue
 			}
-			fmt.Printf("  %-14s %-10s paper: %dV / %dE\n",
+			fmt.Fprintf(stdout, "  %-14s %-10s paper: %dV / %dE\n",
 				d, info.Type, info.PaperVertices, info.PaperEdges)
 		}
-		return
+		return nil
 	}
 
-	g, err := gen.Load(gen.Dataset(*dataset), *scale, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *convert != "" {
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "convert", "out":
+			default:
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			return fmt.Errorf("gxgen: -convert reads its graph from the file; drop %v", conflicts)
+		}
+		if *out == "" {
+			return errors.New("gxgen: -convert writes a binary snapshot; -out is required")
+		}
+		p, err := ingest.ParseEdgeListFile(*convert)
+		if err != nil {
+			return err
+		}
+		if err := ingest.SaveFile(*out, p.Graph); err != nil {
+			return err
+		}
+		st := p.Graph.Stats()
+		relabeled := ""
+		if n := len(p.OrigID); n > 0 && p.OrigID[n-1] != int64(n-1) {
+			relabeled = " (sparse ids relabeled)"
+		}
+		fmt.Fprintf(stderr, "%s -> %s: %d vertices, %d edges%s\n",
+			*convert, *out, st.Vertices, st.Edges, relabeled)
+		return nil
 	}
-	w := os.Stdout
+
+	// Generated output: resolve through the gx registry, so -export
+	// covers every registered dataset, not just the built-ins.
+	g, err := gx.LoadDataset(*dataset, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	if *export {
+		if *out == "" {
+			return errors.New("gxgen: -export writes a binary snapshot; -out is required")
+		}
+		if err := ingest.SaveFile(*out, g); err != nil {
+			return err
+		}
+		st := g.Stats()
+		fmt.Fprintf(stderr, "%s @ 1/%d seed %d -> %s: %d vertices, %d edges (%d snapshot bytes)\n",
+			*dataset, *scale, *seed, *out, st.Vertices, st.Edges,
+			ingest.SnapshotSize(st.Vertices, st.Edges))
+		return nil
+	}
+
+	w := io.Writer(stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := graph.WriteEdgeList(w, g); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	st := g.Stats()
-	fmt.Fprintf(os.Stderr, "%s @ 1/%d: %d vertices, %d edges, avg degree %.2f\n",
+	fmt.Fprintf(stderr, "%s @ 1/%d: %d vertices, %d edges, avg degree %.2f\n",
 		*dataset, *scale, st.Vertices, st.Edges, st.AvgDegree)
+	return nil
 }

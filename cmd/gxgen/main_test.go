@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gxplug/internal/gen"
+	"gxplug/internal/gen/ingest"
+)
+
+func TestListPrintsCatalog(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"orkut", "twitter", "wrn", "syn4m"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestExportMatchesDirectSave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "orkut.gxsnap")
+	var diag bytes.Buffer
+	if err := run([]string{
+		"-export", "-dataset", "orkut", "-scale", "20000", "-seed", "7", "-out", path,
+	}, io.Discard, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diag.String(), "snapshot bytes") {
+		t.Fatalf("export diagnostic missing: %s", diag.String())
+	}
+	got, err := ingest.LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gen.Load(gen.Orkut, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := ingest.Save(&a, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := ingest.Save(&b, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("exported snapshot differs from direct generation")
+	}
+}
+
+func TestConvertEdgeList(t *testing.T) {
+	dir := t.TempDir()
+	el := filepath.Join(dir, "toy.el")
+	if err := os.WriteFile(el, []byte("# toy\n100 7\n7 100 2.5\n100 4000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "toy.gxsnap")
+	var diag bytes.Buffer
+	if err := run([]string{"-convert", el, "-out", snap}, io.Discard, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diag.String(), "sparse ids relabeled") {
+		t.Fatalf("relabel note missing: %s", diag.String())
+	}
+	g, err := ingest.LoadSnapshotFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("converted graph is %dV/%dE, want 3V/3E", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestEdgeListStdoutRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "wrn", "-scale", "200000"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ingest.ParseEdgeList(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph.NumEdges() == 0 {
+		t.Fatal("generated edge list is empty")
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"convert-without-out":    {"-convert", "x.el"},
+		"export-without-out":     {"-export", "-dataset", "orkut"},
+		"convert-with-dataset":   {"-convert", "x.el", "-out", "x.snap", "-dataset", "orkut"},
+		"unknown-dataset":        {"-dataset", "giraph-graph"},
+		"missing-convert-source": {"-convert", "definitely-missing.el", "-out", "x.snap"},
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("%s: %v accepted", name, args)
+		}
+	}
+}

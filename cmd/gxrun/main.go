@@ -10,8 +10,19 @@
 //	gxrun -scenario testdata/pagerank-pg-4n.json
 //	gxrun -algo sssp -dataset wrn -progress      # one line per superstep
 //	gxrun -algo pagerank -cachecap 64            # bounded LRU sync cache
+//	gxrun -algo pagerank -dataset file:twitter.gxsnap -nodes 4
 //	gxrun -suite testdata/suite-pagerank-mix.json
 //	gxrun -suite suite.json -pool 8              # bounded run concurrency
+//
+// Alongside registered generator names, -dataset (and the dataset field
+// of scenario/suite JSON) accepts the `file:` kind: file:PATH sniffs
+// the format, file+snapshot:PATH reads a binary CSR snapshot written by
+// `gxgen -export` / `gxgen -convert`, and file+edgelist:PATH parses a
+// SNAP-style edge list or weighted TSV with deterministic vertex
+// relabeling. Snapshot-backed runs are bit-identical to generating the
+// same graph in process; -scale/-seed do not apply to files. Suites
+// load each distinct file once per content digest, exactly like
+// generated triples.
 //
 // -suite executes every entry of a suite file concurrently on a bounded
 // pool (-pool, default GOMAXPROCS), loading each distinct (dataset,
@@ -68,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		pool         = fs.Int("pool", 0, "max suite entries running concurrently (0 = GOMAXPROCS); results are identical at every size")
 		engineName   = fs.String("engine", "powergraph", "engine: "+strings.Join(gx.Engines(), " | "))
 		algoName     = fs.String("algo", "pagerank", "algorithm: "+strings.Join(gx.Algorithms(), " | "))
-		dataset      = fs.String("dataset", "orkut", "dataset: "+strings.Join(gx.Datasets(), " | "))
+		dataset      = fs.String("dataset", "orkut", "dataset: "+strings.Join(gx.Datasets(), " | ")+" | file[+snapshot|+edgelist]:PATH")
 		scale        = fs.Int64("scale", gx.DefaultScale, "dataset scale divisor")
 		seed         = fs.Int64("seed", gx.DefaultSeed, "generator seed")
 		nodes        = fs.Int("nodes", 4, "distributed nodes")

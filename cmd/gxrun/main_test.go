@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"gxplug/gx"
+	"gxplug/internal/gen/ingest"
 )
 
 // TestScenarioFileMatchesFlags is the golden smoke test: the scenario
@@ -200,5 +204,33 @@ func TestBadScenarioFileFails(t *testing.T) {
 	}
 	if err := run([]string{"-scenario", path}, io.Discard, io.Discard); err == nil {
 		t.Fatal("scenario with a typo field ran")
+	}
+}
+
+// TestFileDatasetMatchesGenerated pins the `file:` dataset kind at the
+// CLI layer: exporting a dataset snapshot and running it by path must
+// produce the same report as generating it in process — identical
+// except for the header line naming the dataset.
+func TestFileDatasetMatchesGenerated(t *testing.T) {
+	g, err := gx.LoadDataset("orkut", 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "orkut.gxsnap")
+	if err := ingest.SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	flags := []string{"-algo", "pagerank", "-nodes", "2", "-maxiter", "5", "-scale", "20000"}
+	var fromGen, fromFile bytes.Buffer
+	if err := run(append([]string{"-dataset", "orkut"}, flags...), &fromGen, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dataset", "file:" + path, "-algo", "pagerank", "-nodes", "2", "-maxiter", "5"}, &fromFile, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	trim := func(s string) string { return s[strings.Index(s, "\n"):] }
+	if trim(fromGen.String()) != trim(fromFile.String()) {
+		t.Fatalf("file-backed run differs from generated run:\n--- generated\n%s--- file\n%s",
+			fromGen.String(), fromFile.String())
 	}
 }

@@ -1,0 +1,74 @@
+// Real-graph ingestion: run an engine over a graph file instead of a
+// synthetic generator.
+//
+// The paper's evaluation runs on real datasets (Twitter, road networks)
+// shipped as SNAP-style edge lists. This example writes a small edge
+// list in exactly that shape — sparse original vertex ids, '#'
+// comments, optional weights — and runs connected components over it on
+// both engines through the `file:` dataset kind. No generator is
+// involved: the file is the dataset. For big graphs, convert the edge
+// list once with `gxgen -convert graph.el -out graph.gxsnap` and point
+// the scenario at file:graph.gxsnap — loading the binary CSR snapshot
+// is ≥10× faster than re-parsing or regenerating, and runs over it are
+// bit-identical.
+//
+//	go run ./examples/real-graph
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gxplug/gx"
+)
+
+// A toy "web crawl": two dense communities bridged by a single link,
+// using the sparse, arbitrary vertex ids real crawls have. The loader
+// relabels them deterministically (ascending id order) into the dense
+// range engines need.
+const snapEdgeList = `# Directed graph (each unordered pair of nodes is saved once)
+# FromNodeId	ToNodeId
+1001	1002
+1002	1003
+1003	1001
+1002	1001
+7500	7501
+7501	7600
+7600	7500
+# one bridge between the communities, weighted
+1003	7500	0.5
+`
+
+func main() {
+	dir, err := os.MkdirTemp("", "real-graph")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "crawl.el")
+	if err := os.WriteFile(path, []byte(snapEdgeList), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	s := gx.Scenario{
+		Algorithm: "cc",
+		Dataset:   "file:" + path, // sniffed: text → edge list, GXSNAP magic → snapshot
+		Nodes:     2,
+		Accel:     "cpu",
+	}
+	for _, engine := range gx.Engines() {
+		s.Engine = engine
+		res, err := gx.Run(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		components := map[float64]int{}
+		for _, label := range res.Attrs {
+			components[label]++
+		}
+		fmt.Printf("%-11s: %d vertices, %d weakly-reachable component labels, %v virtual time\n",
+			engine, len(res.Attrs), len(components), res.Time)
+	}
+}

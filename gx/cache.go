@@ -1,6 +1,9 @@
 package gx
 
 import (
+	"fmt"
+	"os"
+
 	"gxplug/internal/graph"
 	"gxplug/internal/memo"
 )
@@ -17,14 +20,47 @@ import (
 // with [WithCache] extends the reuse across suites — a service executing
 // many suites over the same catalog loads each dataset once for its
 // whole lifetime. Entries are retained until [DatasetCache.Purge].
+//
+// File-backed datasets (`file:` and friends) are cached too, keyed by
+// (path, content digest): every concurrent entry naming one file shares
+// a single digest pass and a single parse/load, while a file rewritten
+// between suites sharing one cache is re-digested and becomes a
+// distinct entry. The digest pass itself is memoized by the file's stat
+// identity (path, size, mtime) — cheap to check per request, recomputed
+// when the file visibly changes.
 type DatasetCache struct {
-	graphs *memo.Table[graphKey, loadedGraph]
-	parts  *graph.PartitionCache
+	graphs  *memo.Table[graphKey, loadedGraph]
+	digests *memo.Table[statKey, fileDigest]
+	files   *memo.Table[fileKey, loadedGraph]
+	parts   *graph.PartitionCache
 }
 
 type graphKey struct {
 	dataset     string
 	scale, seed int64
+}
+
+// fileKey identifies one file-backed graph by path, content digest and
+// resolved format. The format is part of the key because two dataset
+// names can address one file differently — `file:g.el` (sniffed) and
+// `file+snapshot:g.el` (declared) — and the declared-wrong form must
+// memoize its own error instead of sharing a slot with the correct one.
+type fileKey struct {
+	path   string
+	digest uint64
+	format fileFormat
+}
+
+// statKey is the cheap identity the digest pass is memoized under.
+type statKey struct {
+	path       string
+	size       int64
+	mtimeNanos int64
+}
+
+type fileDigest struct {
+	digest uint64
+	err    error
 }
 
 type loadedGraph struct {
@@ -36,7 +72,8 @@ type loadedGraph struct {
 type CacheStats struct {
 	// GraphHits counts Graph calls answered from the cache; GraphLoads
 	// counts dataset loads — the number of distinct (dataset, scale,
-	// seed) triples ever requested.
+	// seed) triples plus distinct (file path, digest) pairs ever
+	// requested.
 	GraphHits, GraphLoads int64
 	// PartitionHits and PartitionBuilds are the same split for
 	// partitionings, keyed by (graph, engine, nodes).
@@ -46,20 +83,70 @@ type CacheStats struct {
 // NewDatasetCache returns an empty dataset/partition cache.
 func NewDatasetCache() *DatasetCache {
 	return &DatasetCache{
-		graphs: memo.NewTable[graphKey, loadedGraph](),
-		parts:  graph.NewPartitionCache(),
+		graphs:  memo.NewTable[graphKey, loadedGraph](),
+		digests: memo.NewTable[statKey, fileDigest](),
+		files:   memo.NewTable[fileKey, loadedGraph](),
+		parts:   graph.NewPartitionCache(),
 	}
 }
 
 // Graph returns the memoized graph for a registered dataset at (scale,
-// seed), loading it through the dataset registry on first request.
-// Errors are memoized: generation is deterministic, so retrying a
-// failed load cannot succeed.
+// seed) — or, for a `file:` dataset, for the file's current content —
+// loading it on first request. Generator errors are memoized (loads are
+// deterministic, so retrying cannot succeed); file errors are shared
+// with concurrent waiters of the same attempt but retried on later
+// requests, since file I/O can fail transiently.
 func (c *DatasetCache) Graph(dataset string, scale, seed int64) (*Graph, error) {
+	if fd, ok, err := parseFileDataset(dataset); ok {
+		if err != nil {
+			return nil, err
+		}
+		return c.fileGraph(dataset, fd)
+	}
 	r := c.graphs.Get(graphKey{dataset: dataset, scale: scale, seed: seed}, func() loadedGraph {
 		g, err := LoadDataset(dataset, scale, seed)
 		return loadedGraph{g: g, err: err}
 	})
+	return r.g, r.err
+}
+
+// fileGraph memoizes a file-backed load by (path, digest, resolved
+// format). The digest pass is memoized and single-flight under the
+// file's stat identity, so N concurrent entries naming one file read
+// and parse it exactly once, while a rewritten file (new size/mtime) is
+// re-digested. Failed digests and loads are returned to every waiter
+// that shared the attempt but not memoized beyond it (the key is
+// dropped), so a transient I/O error — EMFILE under a wide pool, a
+// permission fixed after the fact — does not poison the cache forever.
+func (c *DatasetCache) fileGraph(name string, fd fileDataset) (*Graph, error) {
+	fd, err := fd.resolve()
+	if err != nil {
+		return nil, fmt.Errorf("gx: dataset %q: %w", name, err)
+	}
+	st, err := os.Stat(fd.path)
+	if err != nil {
+		return nil, fmt.Errorf("gx: dataset %q: %w", name, err)
+	}
+	sk := statKey{path: fd.path, size: st.Size(), mtimeNanos: st.ModTime().UnixNano()}
+	d := c.digests.Get(sk, func() fileDigest {
+		digest, err := fd.digest()
+		return fileDigest{digest: digest, err: err}
+	})
+	if d.err != nil {
+		c.digests.Drop(sk)
+		return nil, fmt.Errorf("gx: dataset %q: %w", name, d.err)
+	}
+	fk := fileKey{path: fd.path, digest: d.digest, format: fd.format}
+	r := c.files.Get(fk, func() loadedGraph {
+		g, err := fd.load()
+		if err != nil {
+			err = fmt.Errorf("gx: dataset %q: %w", name, err)
+		}
+		return loadedGraph{g: g, err: err}
+	})
+	if r.err != nil {
+		c.files.Drop(fk)
+	}
 	return r.g, r.err
 }
 
@@ -79,15 +166,19 @@ func (c *DatasetCache) Partitioning(g *Graph, engine string, nodes int) (*Partit
 // Stats returns a snapshot of the cache counters.
 func (c *DatasetCache) Stats() CacheStats {
 	gs := c.graphs.Stats()
+	fs := c.files.Stats()
 	ps := c.parts.Stats()
 	return CacheStats{
-		GraphHits: gs.Hits, GraphLoads: gs.Entries,
+		GraphHits: gs.Hits + fs.Hits, GraphLoads: gs.Entries + fs.Entries,
 		PartitionHits: ps.Hits, PartitionBuilds: ps.Builds,
 	}
 }
 
-// Purge drops every graph and partitioning and zeroes the counters.
+// Purge drops every graph, file digest and partitioning and zeroes the
+// counters.
 func (c *DatasetCache) Purge() {
 	c.graphs.Purge()
+	c.digests.Purge()
+	c.files.Purge()
 	c.parts.Purge()
 }

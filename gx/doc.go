@@ -26,6 +26,18 @@
 // examples/custom-algorithm for a user-defined algorithm). Unknown names
 // fail validation with the list of registered names.
 //
+// Alongside registered names, the Dataset field accepts the `file:`
+// kind for real graphs on disk: "file:PATH" sniffs the format,
+// "file+snapshot:PATH" reads a binary CSR snapshot (written by `gxgen
+// -export` or `gxgen -convert`), and "file+edgelist:PATH" parses a
+// SNAP-style edge list or weighted TSV with deterministic vertex
+// relabeling (see examples/real-graph). Scale and Seed do not apply to
+// a file and are ignored; validation checks the reference is
+// well-formed and the path is a readable regular file. Running a
+// snapshot is bit-identical to generating the same graph in process —
+// and an order of magnitude faster to load, which is what suite
+// cold-starts pay.
+//
 // Functional options refine a scenario at the call site: [WithMaxIter],
 // [WithNet], [WithGraph], [WithAlgorithm], [WithPlug],
 // [WithPartitioning], and [WithObserver], which attaches a per-superstep
@@ -46,7 +58,8 @@
 //
 // A [Suite] batches named scenarios into one JSON-round-tripping unit
 // (`gxrun -suite file.json`), executed by [RunSuite] on a bounded
-// concurrent pool ([WithPool]). Each distinct (dataset, scale, seed) is
+// concurrent pool ([WithPool]). Each distinct (dataset, scale, seed) —
+// and each distinct file, keyed by path and content digest — is
 // loaded exactly once and each graph partitioned once per (engine,
 // nodes) through a shared [DatasetCache] — safe because graphs and
 // partitionings are immutable — and concurrency is a wall-clock

@@ -204,8 +204,21 @@ func NewAlgorithm(name string, p AlgoParams, numV int) (Algorithm, error) {
 	return alg, nil
 }
 
-// LoadDataset loads a registered dataset at 1/scale of its full size.
+// LoadDataset loads a registered dataset at 1/scale of its full size,
+// or — when name uses the `file:` kind (file:PATH, file+snapshot:PATH,
+// file+edgelist:PATH) — reads the graph from disk; scale and seed do
+// not apply to a file and are ignored.
 func LoadDataset(name string, scale, seed int64) (*Graph, error) {
+	if fd, ok, err := parseFileDataset(name); ok {
+		if err != nil {
+			return nil, err
+		}
+		g, err := fd.load()
+		if err != nil {
+			return nil, fmt.Errorf("gx: dataset %q: %w", name, err)
+		}
+		return g, nil
+	}
 	def, err := datasetReg.lookup(name)
 	if err != nil {
 		return nil, err

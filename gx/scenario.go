@@ -169,7 +169,16 @@ func (s Scenario) validate(have provided) error {
 		}
 	}
 	if !have.graph {
-		if _, err := datasetReg.lookup(s.Dataset); err != nil {
+		if fd, ok, err := parseFileDataset(s.Dataset); ok {
+			// The `file:` dataset kind: the reference must be well-formed
+			// and the path a readable regular file.
+			if err == nil {
+				err = fd.check()
+			}
+			if err != nil {
+				errs = append(errs, err)
+			}
+		} else if _, err := datasetReg.lookup(s.Dataset); err != nil {
 			errs = append(errs, err)
 		}
 	}

@@ -139,9 +139,13 @@ func Run(cfg Config) (*Result, error) {
 	return &Result{Attrs: attrs, Iterations: iters, Time: total, SyncTime: sync}, nil
 }
 
+// log2ceil returns ceil(log2(n)), 0 for n <= 1 — the same semantics as
+// internal/cluster's helper, so a future single-node caller cannot be
+// charged a phantom barrier hop (the call above is guarded by
+// nodes > 1, so today's costs are unchanged).
 func log2ceil(n int) int {
 	if n <= 1 {
-		return 1
+		return 0
 	}
 	l := 0
 	for (1 << l) < n {

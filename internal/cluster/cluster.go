@@ -182,8 +182,11 @@ func (c *Cluster) Exchange(bucket string, vol [][]int64) {
 }
 
 // Broadcast sends n bytes from node `from` to every other node (tree
-// broadcast: the sender pays log2(m) transmissions, receivers pay one
-// receive each), then barriers.
+// broadcast: the sender pays ceil(log2(m)) transmissions, receivers pay
+// one receive each), then barriers. On a single-node cluster there are
+// no receivers and the broadcast is free — log2ceil(1) is 0, so the
+// sender is charged for zero transmissions and the barrier adds no
+// overhead.
 func (c *Cluster) Broadcast(bucket string, from int, bytes int64) {
 	m := len(c.nodes)
 	hops := log2ceil(m)
@@ -228,9 +231,15 @@ func (c *Cluster) TotalBucket(name string) time.Duration {
 	return t
 }
 
+// log2ceil returns ceil(log2(n)) — the tree depth of n participants.
+// One (or zero) participants need no coordination at all, so the result
+// is 0, not 1: this is what makes every communication primitive free on
+// a single-node cluster (a Broadcast has no receivers, an Exchange and
+// an AllGather move no remote bytes, and a Barrier synchronizes nobody)
+// instead of charging phantom latency and barrier overhead.
 func log2ceil(n int) int {
 	if n <= 1 {
-		return 1
+		return 0
 	}
 	l := 0
 	for (1 << l) < n {

@@ -189,3 +189,92 @@ func TestBarrierMonotoneQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A single-node cluster has nobody to talk to: every communication
+// primitive — and the barrier underneath them — must be free. Broadcast
+// used to charge the sender one full latency+bytes transmission because
+// log2ceil(1) returned 1.
+func TestSingleNodePrimitivesFree(t *testing.T) {
+	run := func(name string, f func(c *Cluster)) {
+		c := New(1, testNet())
+		f(c)
+		if got := c.Node(0).Clock.Now(); got != 0 {
+			t.Errorf("%s on 1 node charged %v, want 0", name, got)
+		}
+	}
+	run("broadcast", func(c *Cluster) { c.Broadcast("net", 0, 1_000_000) })
+	run("exchange", func(c *Cluster) { c.Exchange("net", [][]int64{{0}}) })
+	run("allgather", func(c *Cluster) { c.AllGather("net", []int64{1_000_000}) })
+	run("barrier", func(c *Cluster) { c.Barrier("sync") })
+}
+
+// Broadcasting zero bytes on a real cluster still pays per-hop latency;
+// the degenerate freeness above is strictly about having no receivers.
+func TestBroadcastTwoNodes(t *testing.T) {
+	c := New(2, testNet())
+	c.Broadcast("net", 0, 0)
+	// Sender: 1 hop × 1ms latency; receiver: 1ms; barrier: 1ms overhead.
+	if got := c.MaxTime(); got != 2*time.Millisecond {
+		t.Fatalf("2-node zero-byte broadcast makespan %v, want 2ms", got)
+	}
+}
+
+// Zero-volume rows charge nothing: latency is per non-empty peer, so a
+// node with an all-zero row pays only the barrier.
+func TestExchangeZeroVolumeRows(t *testing.T) {
+	c := New(3, testNet())
+	vol := [][]int64{
+		{0, 1_000_000, 0}, // node 0 sends 1MB to node 1 only
+		{0, 0, 0},         // node 1 sends nothing
+		{0, 0, 0},         // node 2 idles entirely
+	}
+	c.Exchange("net", vol)
+	// Node 0: 1 peer × 1ms + 1s send. Node 1: receives 1MB → 1s. Node 2:
+	// nothing. All meet at a barrier (log2(3)=2 → 2ms overhead).
+	want := 1*time.Second + 1*time.Millisecond + 2*time.Millisecond
+	for j := 0; j < 3; j++ {
+		if got := c.Node(j).Clock.Now(); got != want {
+			t.Fatalf("node %d clock %v, want %v", j, got, want)
+		}
+	}
+	// The idle node's entire cost is barrier wait, not phantom latency.
+	if got := c.Node(2).Bucket("net"); got != want {
+		t.Fatalf("idle node bucket %v, want pure barrier wait %v", got, want)
+	}
+}
+
+// Asymmetric volumes pay the dominating direction: a node sending 2MB
+// while receiving 1MB costs 2s on its link, not 3s (full duplex).
+func TestExchangeAsymmetricVolumes(t *testing.T) {
+	c := New(2, testNet())
+	vol := [][]int64{
+		{0, 2_000_000},
+		{1_000_000, 0},
+	}
+	c.Exchange("net", vol)
+	// Both nodes: 1 peer × 1ms latency + max(2MB,1MB)/1MBps = 2s; then
+	// the barrier adds its 1ms overhead on the already-equal clocks.
+	want := 2*time.Second + 1*time.Millisecond + 1*time.Millisecond
+	for j := 0; j < 2; j++ {
+		if got := c.Node(j).Clock.Now(); got != want {
+			t.Fatalf("node %d clock %v, want %v", j, got, want)
+		}
+	}
+}
+
+// AllGather charges each node the ring traffic it forwards — everyone
+// else's contribution — plus m-1 latencies; zero contributions still
+// ride the ring for free.
+func TestAllGatherAsymmetricContributions(t *testing.T) {
+	c := New(3, testNet())
+	c.AllGather("net", []int64{3_000_000, 0, 0})
+	// Nodes 1 and 2 forward node 0's 3MB (3s + 2×1ms latency); node 0
+	// forwards nothing (just 2ms latency). Barrier: 2ms overhead.
+	want := 3*time.Second + 2*time.Millisecond + 2*time.Millisecond
+	if got := c.MaxTime(); got != want {
+		t.Fatalf("makespan %v, want %v", got, want)
+	}
+	if got := c.Node(0).Bucket("net"); got != want {
+		t.Fatalf("node 0 charged %v, want barrier-equalized %v", got, want)
+	}
+}

@@ -1,0 +1,87 @@
+package ingest
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gxplug/internal/graph"
+)
+
+// FuzzSnapshotDecodeNoPanic drives LoadSnapshot with arbitrary bytes:
+// hostile input must error, never panic, and never force allocations
+// proportional to what a lying header claims. When an input does decode,
+// re-encoding the graph and decoding again must reproduce it — decoded
+// snapshots are stable fixed points.
+func FuzzSnapshotDecodeNoPanic(f *testing.F) {
+	g := testGraph(f)
+	var valid bytes.Buffer
+	if err := Save(&valid, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	for _, data := range corruptions(valid.Bytes()) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := LoadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, g); err != nil {
+			t.Fatalf("re-encoding a decoded snapshot failed: %v", err)
+		}
+		back, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if !csrEqual(g, back) {
+			t.Fatal("decode → encode → decode not a fixed point")
+		}
+	})
+}
+
+// FuzzEdgeListParse drives the text parser with arbitrary input: it
+// must error or produce a structurally sound graph, never panic. On
+// success, writing the graph back out as an edge list and re-parsing
+// must reproduce the out-CSR exactly (the in-CSR tie order legitimately
+// differs when the input was not source-sorted).
+func FuzzEdgeListParse(f *testing.F) {
+	f.Add("# comment\n0 1\n1 2\n")
+	f.Add("100\t7\t2.5\n7\t100\t0.25\n")
+	f.Add("% matrix-market-style comment\n5 5\n")
+	f.Add("0 1 1e999\n")
+	f.Add("-3 4\n")
+	f.Add("a b c\n")
+	f.Add("9999999999999999999 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParseEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(p.OrigID) != p.Graph.NumVertices() {
+			t.Fatalf("%d original ids for %d vertices", len(p.OrigID), p.Graph.NumVertices())
+		}
+		for i := 1; i < len(p.OrigID); i++ {
+			if p.OrigID[i-1] >= p.OrigID[i] {
+				t.Fatal("original ids not strictly ascending")
+			}
+		}
+		var out bytes.Buffer
+		if err := graph.WriteEdgeList(&out, p.Graph); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseEdgeList(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing a written edge list failed: %v", err)
+		}
+		ao, ad, aw, _, _, _ := p.Graph.CSR()
+		bo, bd, bw, _, _, _ := back.Graph.CSR()
+		if p.Graph.NumVertices() != back.Graph.NumVertices() ||
+			!reflect.DeepEqual(ao, bo) || !reflect.DeepEqual(ad, bd) || !floatsBitEqual(aw, bw) {
+			t.Fatal("edge-list round trip changed the out-CSR")
+		}
+	})
+}

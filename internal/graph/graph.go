@@ -97,6 +97,96 @@ func MustFromEdges(numV int, edges []Edge) *Graph {
 	return g
 }
 
+// CSR exposes the six raw arrays backing the graph — the out-CSR
+// (offsets, destinations, weights) and the in-CSR (offsets, sources,
+// weights). The slices alias internal storage and must not be mutated;
+// the snapshot codec in internal/gen/ingest serializes them verbatim so
+// a loaded graph is bit-identical to the saved one (including the
+// in-CSR tie order, which FromEdges derives from edge input order and
+// which floating-point merge results depend on).
+func (g *Graph) CSR() (outOff []int64, outDst []VertexID, outW []float64,
+	inOff []int64, inSrc []VertexID, inW []float64) {
+	return g.outOff, g.outDst, g.outW, g.inOff, g.inSrc, g.inW
+}
+
+// FromCSR adopts pre-built CSR arrays as a graph after validating every
+// structural invariant a corrupted or hostile snapshot could break:
+// offset arrays of length numV+1 starting at 0, non-decreasing and
+// ending at the edge count; out- and in-CSR holding the same number of
+// edges; every vertex id inside [0, numV); and matching per-vertex
+// degrees between the two orientations (the in-degree of v equals the
+// number of out-edges targeting v, and vice versa). The slices are
+// retained, not copied — callers hand over ownership.
+func FromCSR(numV int, outOff []int64, outDst []VertexID, outW []float64,
+	inOff []int64, inSrc []VertexID, inW []float64) (*Graph, error) {
+	if numV < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", numV)
+	}
+	if len(outDst) != len(inSrc) {
+		return nil, fmt.Errorf("graph: out-CSR has %d edges, in-CSR %d", len(outDst), len(inSrc))
+	}
+	numE := int64(len(outDst))
+	checkOff := func(orient string, off []int64) error {
+		if len(off) != numV+1 {
+			return fmt.Errorf("graph: %s offsets have %d entries for %d vertices", orient, len(off), numV)
+		}
+		if off[0] != 0 {
+			return fmt.Errorf("graph: %s offsets start at %d, want 0", orient, off[0])
+		}
+		for v := 0; v < numV; v++ {
+			if off[v+1] < off[v] {
+				return fmt.Errorf("graph: %s offsets decrease at vertex %d", orient, v)
+			}
+		}
+		if off[numV] != numE {
+			return fmt.Errorf("graph: %s offsets end at %d for %d edges", orient, off[numV], numE)
+		}
+		return nil
+	}
+	if err := checkOff("out", outOff); err != nil {
+		return nil, err
+	}
+	if err := checkOff("in", inOff); err != nil {
+		return nil, err
+	}
+	if len(outW) != int(numE) || len(inW) != int(numE) {
+		return nil, fmt.Errorf("graph: %d/%d weights for %d edges", len(outW), len(inW), numE)
+	}
+	// Cross-check the orientations degree by degree: outDst occurrences
+	// must reproduce the in-degrees and inSrc occurrences the out-degrees.
+	deg := make([]int64, numV)
+	for _, d := range outDst {
+		if int(d) >= numV {
+			return nil, fmt.Errorf("graph: edge destination %d outside [0,%d)", d, numV)
+		}
+		deg[d]++
+	}
+	for v := 0; v < numV; v++ {
+		if deg[v] != inOff[v+1]-inOff[v] {
+			return nil, fmt.Errorf("graph: vertex %d has %d incoming edges but in-degree %d",
+				v, deg[v], inOff[v+1]-inOff[v])
+		}
+		deg[v] = 0
+	}
+	for _, s := range inSrc {
+		if int(s) >= numV {
+			return nil, fmt.Errorf("graph: edge source %d outside [0,%d)", s, numV)
+		}
+		deg[s]++
+	}
+	for v := 0; v < numV; v++ {
+		if deg[v] != outOff[v+1]-outOff[v] {
+			return nil, fmt.Errorf("graph: vertex %d has %d outgoing edges but out-degree %d",
+				v, deg[v], outOff[v+1]-outOff[v])
+		}
+	}
+	return &Graph{
+		numV:   numV,
+		outOff: outOff, outDst: outDst, outW: outW,
+		inOff: inOff, inSrc: inSrc, inW: inW,
+	}, nil
+}
+
 // NumVertices returns the vertex count.
 func (g *Graph) NumVertices() int { return g.numV }
 

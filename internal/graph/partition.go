@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -319,6 +320,12 @@ func PartitionBySizes(g *Graph, fractions []float64) *Partitioning {
 	}
 	var sum float64
 	for _, f := range fractions {
+		// NaN slips past a plain `f < 0` guard and then poisons sum,
+		// turning every threshold into int64(NaN) garbage — reject all
+		// non-finite fractions up front instead.
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			panic(fmt.Sprintf("graph: non-finite fraction %v", f))
+		}
 		if f < 0 {
 			panic(fmt.Sprintf("graph: negative fraction %v", f))
 		}

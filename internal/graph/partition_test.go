@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -120,7 +121,13 @@ func TestPartitionBySizes(t *testing.T) {
 
 func TestPartitionBySizesPanics(t *testing.T) {
 	g := randomGraph(7, 10, 20)
-	for _, bad := range [][]float64{{}, {0, 0}, {-1, 2}} {
+	nan := math.NaN()
+	for _, bad := range [][]float64{
+		{}, {0, 0}, {-1, 2},
+		// Non-finite fractions used to slip past the `f < 0` guard, poison
+		// the running sum, and emit int64(NaN) garbage thresholds.
+		{nan, 1}, {1, nan}, {nan, nan}, {math.Inf(1), 1}, {1, math.Inf(-1)},
+	} {
 		func() {
 			defer func() { recover() }()
 			PartitionBySizes(g, bad)

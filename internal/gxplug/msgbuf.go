@@ -2,6 +2,7 @@ package gxplug
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"gxplug/internal/graph"
@@ -28,6 +29,10 @@ type Outbox struct {
 	ids  []graph.VertexID // touched ids in first-touch order
 
 	overflow map[graph.VertexID][]float64
+	// scratch is the reusable key buffer Each sorts overflow ids into;
+	// keeping it on the outbox preserves the "allocates nothing after
+	// warm-up" routing contract even when out-of-range ids are in play.
+	scratch []graph.VertexID
 }
 
 // NewOutbox creates an outbox over the dense id range [0, numV) with
@@ -92,14 +97,15 @@ func (ob *Outbox) Each(fn func(id graph.VertexID, msg []float64)) {
 	if len(ob.overflow) == 0 {
 		return
 	}
-	keys := make([]graph.VertexID, 0, len(ob.overflow))
+	keys := ob.scratch[:0]
 	for id := range ob.overflow {
 		keys = append(keys, id)
 	}
-	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	slices.Sort(keys) // sort.Slice would allocate its reflect.Swapper every call
 	for _, id := range keys {
 		fn(id, ob.overflow[id])
 	}
+	ob.scratch = keys
 }
 
 // Inbox holds the messages routed to one node, dense over its master rows

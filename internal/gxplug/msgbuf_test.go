@@ -126,3 +126,38 @@ func TestGenResultReset(t *testing.T) {
 		t.Fatalf("acc[1] = %v, want merge identity +Inf", res.LocalAcc[1])
 	}
 }
+
+// Each with a warm overflow map must not allocate: the sort scratch
+// lives on the outbox and slices.Sort replaces the allocating
+// sort.Slice — this is the "allocates nothing after warm-up" routing
+// contract extended to out-of-range ids.
+func TestOutboxEachNoAllocAfterWarmup(t *testing.T) {
+	alg := algos.NewPageRank()
+	mw := alg.MsgWidth()
+	ob := NewOutbox(alg, 8, mw)
+	msg := make([]float64, mw)
+	fill := func() {
+		ob.Reset(alg)
+		for i := 0; i < 32; i++ {
+			ob.Add(alg, graph.VertexID(i), msg) // ids ≥ 8 overflow
+		}
+	}
+	fill()
+	var sink graph.VertexID
+	ob.Each(func(id graph.VertexID, _ []float64) { sink = id }) // warm the scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		ob.Each(func(id graph.VertexID, _ []float64) { sink = id })
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("warm Each allocates %.1f times per call, want 0", allocs)
+	}
+	// Refilling after a Reset keeps the scratch warm too.
+	fill()
+	allocs = testing.AllocsPerRun(50, func() {
+		ob.Each(func(id graph.VertexID, _ []float64) { sink = id })
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Each after Reset allocates %.1f times per call, want 0", allocs)
+	}
+}

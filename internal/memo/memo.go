@@ -53,6 +53,20 @@ func (t *Table[K, V]) Get(key K, build func() V) V {
 	return e.v
 }
 
+// Drop removes one key so the next Get rebuilds it. Callers use it to
+// keep transient failures from being memoized forever: a Get whose
+// result turns out to be an error can Drop the key and still return
+// that error, giving every in-flight waiter the failed attempt's result
+// while later requests retry. Dropping a key that is absent (or already
+// dropped by a concurrent waiter) is a no-op. A dropped key leaves the
+// entry count, so Stats.Entries reads as "keys currently memoized" once
+// Drop is in play.
+func (t *Table[K, V]) Drop(key K) {
+	t.mu.Lock()
+	delete(t.entries, key)
+	t.mu.Unlock()
+}
+
 // Stats returns a snapshot of the table counters.
 func (t *Table[K, V]) Stats() Stats {
 	t.mu.Lock()

@@ -67,3 +67,23 @@ func TestTableSingleFlight(t *testing.T) {
 		t.Fatalf("stats %+v", st)
 	}
 }
+
+func TestDropAllowsRebuild(t *testing.T) {
+	tbl := NewTable[string, int]()
+	builds := 0
+	build := func() int { builds++; return builds }
+	if got := tbl.Get("k", build); got != 1 {
+		t.Fatalf("first Get = %d, want 1", got)
+	}
+	if got := tbl.Get("k", build); got != 1 {
+		t.Fatalf("memoized Get = %d, want 1 (no rebuild)", got)
+	}
+	tbl.Drop("k")
+	if got := tbl.Get("k", build); got != 2 {
+		t.Fatalf("Get after Drop = %d, want rebuild (2)", got)
+	}
+	tbl.Drop("absent") // no-op
+	if st := tbl.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
