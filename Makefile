@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build examples test test-full race race-boundedcache race-suite cover fuzz-smoke ci bench
+.PHONY: all fmt vet build examples test test-full race race-boundedcache race-suite race-resume cover fuzz-smoke ci bench
 
 all: ci
 
@@ -47,6 +47,13 @@ race-boundedcache:
 race-suite:
 	GOMAXPROCS=8 $(GO) test -race -run 'TestSuiteConcurrencyDeterminism' ./gx
 
+# The fault-tolerance acceptance pin: a run killed at every superstep k
+# and resumed from its on-disk checkpoint converges to the bit-identical
+# final attributes and virtual makespan of an uninterrupted run, on both
+# engines, with the checkpoint/resume machinery under the race detector.
+race-resume:
+	GOMAXPROCS=8 $(GO) test -race -run 'TestResumeBitIdentical' ./gx
+
 # Per-package coverage summary, gated on the floors recorded in
 # COVERAGE_baseline.txt for the public API and the engine core. The test
 # run's own status is checked before the floors: a failing suite fails
@@ -75,9 +82,10 @@ fuzz-smoke:
 	$(GO) test ./internal/gxplug -run '^$$' -fuzz '^FuzzOutboxRouting$$' -fuzztime=10s
 	$(GO) test ./internal/gxplug -run '^$$' -fuzz '^FuzzInboxFromMap$$' -fuzztime=10s
 	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzSnapshotDecodeNoPanic$$' -fuzztime=10s
+	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzSnapshotV2DecodeNoPanic$$' -fuzztime=10s
 	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzEdgeListParse$$' -fuzztime=10s
 
-ci: fmt vet build examples race race-boundedcache race-suite cover fuzz-smoke
+ci: fmt vet build examples race race-boundedcache race-suite race-resume cover fuzz-smoke
 
 # Record the engine superstep microbenchmarks (latency + allocs) in
 # BENCH_engine.json.

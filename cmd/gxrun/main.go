@@ -13,6 +13,8 @@
 //	gxrun -algo pagerank -dataset file:twitter.gxsnap -nodes 4
 //	gxrun -suite testdata/suite-pagerank-mix.json
 //	gxrun -suite suite.json -pool 8              # bounded run concurrency
+//	gxrun -scenario crashy.json -checkpoint ckpt # checkpoint every superstep
+//	gxrun -scenario crashy.json -checkpoint ckpt -resume
 //
 // Alongside registered generator names, -dataset (and the dataset field
 // of scenario/suite JSON) accepts the `file:` kind: file:PATH sniffs
@@ -38,6 +40,20 @@
 // agents and changes boundary traffic, never results. Unknown
 // -engine/-algo/-dataset/-accel values fail with the list of registered
 // names; gx.Register* extends those lists.
+//
+// Fault tolerance: a scenario (or suite entry) may carry a "faults"
+// plan injecting middleware faults — daemon-crash, msg-stall, accel-oom
+// — at fixed (node, superstep) points. Recoverable faults are absorbed
+// by a deterministic retry schedule charged to virtual time; fatal ones
+// end the run with a typed error (suite reports tag each failed entry
+// with its class: fault, validation, io or run). -checkpoint DIR saves
+// a consistent cut of the run to DIR/checkpoint.gxsnap every -every
+// supersteps (atomic overwrite, snapshot-v2 format); after a crash,
+// rerunning with -resume continues from the saved cut and finishes with
+// the exact final attributes and virtual makespan of an uninterrupted
+// run. The simulated checkpoint cost is part of the virtual clock, so
+// checkpointed runs are comparable with each other, not with
+// checkpoint-free runs.
 package main
 
 import (
@@ -46,7 +62,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"gxplug/gx"
 )
@@ -91,6 +109,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		network      = fs.String("net", gx.DefaultNetwork, "network: "+strings.Join(gx.Networks(), " | "))
 		noOpt        = fs.Bool("no-opt", false, "disable pipeline/caching/skipping optimizations")
 		progress     = fs.Bool("progress", false, "print one line per superstep (live observer)")
+		ckptDir      = fs.String("checkpoint", "", "directory for checkpoint.gxsnap: save a consistent cut of the run (single runs)")
+		ckptEvery    = fs.Int("every", 1, "checkpoint interval in supersteps (with -checkpoint)")
+		resume       = fs.Bool("resume", false, "continue from the cut in -checkpoint instead of starting fresh")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -124,6 +145,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if poolSet {
 		return errors.New("gxrun: -pool requires -suite (single runs have no entry concurrency)")
 	}
+	// Likewise -every and -resume qualify -checkpoint and are dead without it.
+	if *ckptDir == "" {
+		everySet := false
+		fs.Visit(func(f *flag.Flag) { everySet = everySet || f.Name == "every" })
+		if everySet {
+			return errors.New("gxrun: -every requires -checkpoint")
+		}
+		if *resume {
+			return errors.New("gxrun: -resume requires -checkpoint")
+		}
+	}
 
 	var s gx.Scenario
 	if *scenarioPath != "" {
@@ -156,30 +188,95 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	// Load the graph up front so its stats can be printed; gx.Run uses the
-	// same loader, so handing the instance over changes nothing.
-	g, err := gx.LoadDataset(s.Dataset, s.Scale, s.Seed)
-	if err != nil {
+	// same loader, so handing the instance over changes nothing. A resumed
+	// run instead takes the graph from the checkpoint file, which saved it
+	// next to the state.
+	ckptPath := filepath.Join(*ckptDir, "checkpoint.gxsnap")
+	var (
+		g    *gx.Graph
+		from *gx.CheckpointState
+		err  error
+	)
+	if *resume {
+		if g, from, err = gx.LoadCheckpoint(ckptPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "resuming %s from superstep %d\n", ckptPath, from.Iteration)
+	} else if g, err = gx.LoadDataset(s.Dataset, s.Scale, s.Seed); err != nil {
 		return err
 	}
 
+	// One merged observer: the -progress stream and, when faults or
+	// checkpoints are in play, the robustness totals for the report tail.
+	var obsFns []func(gx.Superstep)
 	opts := []gx.Option{gx.WithGraph(g)}
 	if *progress {
-		opts = append(opts, gx.WithObserver(func(st gx.Superstep) {
+		obsFns = append(obsFns, func(st gx.Superstep) {
 			mark := " "
 			if st.SkippedSync {
 				mark = "s"
 			}
 			fmt.Fprintf(stdout, "  [%4d]%s frontier=%-9d msgs=%-9d mirrors=%-7d t=%v\n",
 				st.Iteration, mark, st.Frontier, st.Messages, st.MirrorUpdates, st.Makespan)
+		})
+	}
+	var rt robustnessTotals
+	if len(s.Faults) > 0 || *ckptDir != "" {
+		obsFns = append(obsFns, rt.add)
+	}
+	if len(obsFns) > 0 {
+		obs := obsFns
+		opts = append(opts, gx.WithObserver(func(st gx.Superstep) {
+			for _, fn := range obs {
+				fn(st)
+			}
+		}))
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+		opts = append(opts, gx.WithCheckpoint(*ckptEvery, func(st *gx.CheckpointState) error {
+			rt.saved++
+			return gx.SaveCheckpoint(ckptPath, g, st)
 		}))
 	}
 
-	res, err := gx.Run(s, opts...)
+	var res *gx.Result
+	if *resume {
+		res, err = gx.Resume(s, from, opts...)
+	} else {
+		res, err = gx.Run(s, opts...)
+	}
 	if err != nil {
+		if class := gx.FailureClass(err); class == gx.ClassFault {
+			return fmt.Errorf("gxrun: run lost to injected fault: %w", err)
+		}
 		return err
 	}
 	report(stdout, s, g, res)
+	if len(s.Faults) > 0 {
+		fmt.Fprintf(stdout, "  faults      : %d injected, %d stall retries absorbed\n", rt.faults, rt.retries)
+	}
+	if *ckptDir != "" {
+		fmt.Fprintf(stdout, "  checkpoint  : %d saved to %s, %v virtual cost\n", rt.saved, ckptPath, rt.ckptTime)
+	}
 	return nil
+}
+
+// robustnessTotals aggregates the fault/checkpoint observer fields over
+// a single run for the report tail.
+type robustnessTotals struct {
+	faults   int
+	retries  int64
+	saved    int
+	ckptTime time.Duration
+}
+
+func (rt *robustnessTotals) add(st gx.Superstep) {
+	rt.faults += st.FaultsInjected
+	rt.retries += st.FaultRetries
+	rt.ckptTime += st.CheckpointTime
 }
 
 // runSuite executes a suite file on a bounded pool, streaming per-entry
@@ -242,7 +339,7 @@ func reportEntry(w io.Writer, i, n int, er gx.EntryResult) {
 	fmt.Fprintf(w, "[%d/%d] %s: %s on %s/%s over %d nodes, accel=%s\n",
 		i, n, er.Name, s.Algorithm, s.Dataset, s.Engine, s.Nodes, s.Accel)
 	if er.Err != nil {
-		fmt.Fprintf(w, "  error       : %v\n", er.Err)
+		fmt.Fprintf(w, "  error (%s) : %v\n", er.Class, er.Err)
 		return
 	}
 	res, tot := er.Result, er.Totals
@@ -253,6 +350,10 @@ func reportEntry(w io.Writer, i, n int, er gx.EntryResult) {
 		fmt.Fprintf(w, "  cache       : %.0f%% hit rate, %d evictions (%d dirty spills)\n",
 			100*float64(tot.CacheHits)/float64(tot.CacheHits+tot.CacheMisses),
 			tot.CacheEvictions, tot.CacheDirtySpills)
+	}
+	if tot.FaultsInjected > 0 {
+		fmt.Fprintf(w, "  faults      : %d injected, %d stall retries absorbed\n",
+			tot.FaultsInjected, tot.FaultRetries)
 	}
 	finite, sum := digest(res.Attrs)
 	fmt.Fprintf(w, "  result      : %d finite attribute values, sum %.4f\n", finite, sum)

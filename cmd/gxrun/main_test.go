@@ -234,3 +234,123 @@ func TestFileDatasetMatchesGenerated(t *testing.T) {
 			fromGen.String(), fromFile.String())
 	}
 }
+
+// TestSuiteFaultGolden is the fault-injection suite fixture: recoverable
+// stalls are absorbed (slower virtual time, identical results), fatal
+// crashes are classified and the invocation exits non-zero, and the
+// report stays bit-identical across pool sizes.
+func TestSuiteFaultGolden(t *testing.T) {
+	var pool1, pool4 bytes.Buffer
+	err1 := run([]string{"-suite", "testdata/suite-faults.json", "-pool", "1"}, &pool1, io.Discard)
+	if err1 == nil || !strings.Contains(err1.Error(), "1 of 3 suite entries failed") {
+		t.Fatalf("suite with a crashed entry exited clean: %v", err1)
+	}
+	if err4 := run([]string{"-suite", "testdata/suite-faults.json", "-pool", "4"}, &pool4, io.Discard); err4 == nil || err4.Error() != err1.Error() {
+		t.Fatalf("pool-4 error differs: %v vs %v", err4, err1)
+	}
+	if pool1.String() != pool4.String() {
+		t.Fatalf("fault-suite output differs across pool sizes:\n--- pool 1\n%s--- pool 4\n%s",
+			pool1.String(), pool4.String())
+	}
+	golden, err := os.ReadFile("testdata/suite-faults.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool1.String() != string(golden) {
+		t.Fatalf("fault-suite output diverges from golden:\n--- got\n%s--- want\n%s",
+			pool1.String(), golden)
+	}
+	for _, want := range []string{
+		"faults      : 1 injected, 2 stall retries absorbed",
+		"error (fault) :",
+	} {
+		if !strings.Contains(pool1.String(), want) {
+			t.Fatalf("fault-suite report missing %q:\n%s", want, pool1.String())
+		}
+	}
+}
+
+// TestCheckpointResumeCLI drives the crash-then-resume path end to end:
+// a run killed by an injected daemon crash leaves a checkpoint behind,
+// and rerunning with -resume completes with the exact report of an
+// uninterrupted checkpointed run.
+func TestCheckpointResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	scenario := filepath.Join(dir, "crashy.json")
+	ckpt := filepath.Join(dir, "ckpt")
+	if err := os.WriteFile(scenario, []byte(`{
+		"engine": "powergraph", "algorithm": "pagerank",
+		"dataset": "orkut", "scale": 4000, "seed": 42,
+		"nodes": 2, "accel": "cpu", "maxiter": 6,
+		"faults": [{"kind": "daemon-crash", "node": 1, "superstep": 3}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err := run([]string{"-scenario", scenario, "-checkpoint", ckpt}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "lost to injected fault") {
+		t.Fatalf("crashing run exited clean: %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(ckpt, "checkpoint.gxsnap")); statErr != nil {
+		t.Fatalf("crash left no checkpoint: %v", statErr)
+	}
+
+	var resumed bytes.Buffer
+	if err := run([]string{"-scenario", scenario, "-checkpoint", ckpt, "-resume"}, &resumed, io.Discard); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if !strings.Contains(resumed.String(), "resuming "+filepath.Join(ckpt, "checkpoint.gxsnap")+" from superstep 3") {
+		t.Fatalf("resume header missing:\n%s", resumed.String())
+	}
+
+	// The reference: the same scenario minus the fault, checkpointing on
+	// the same schedule. Reports must match from the summary header on
+	// (the resume path prints one extra leading line).
+	clean := filepath.Join(dir, "clean.json")
+	if err := os.WriteFile(clean, []byte(`{
+		"engine": "powergraph", "algorithm": "pagerank",
+		"dataset": "orkut", "scale": 4000, "seed": 42,
+		"nodes": 2, "accel": "cpu", "maxiter": 6
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := run([]string{"-scenario", clean, "-checkpoint", filepath.Join(dir, "ckpt2")}, &want, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// Only the logical-run lines are bit-identical: virtual times,
+	// iteration counts and the result digest. Physical-work counters
+	// (entities, checkpoints saved) cover the resumed segment only.
+	contract := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "time        :") || strings.Contains(line, "iterations  :") ||
+				strings.Contains(line, "middleware  :") || strings.Contains(line, "result      :") ||
+				strings.Contains(line, "over 2 nodes") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if contract(resumed.String()) != contract(want.String()) {
+		t.Fatalf("resumed report differs from uninterrupted run:\n--- resumed\n%s--- clean\n%s",
+			resumed.String(), want.String())
+	}
+}
+
+// TestCheckpointFlagConflicts: -every/-resume qualify -checkpoint, and
+// checkpointing is a single-run feature.
+func TestCheckpointFlagConflicts(t *testing.T) {
+	err := run([]string{"-algo", "pagerank", "-every", "2"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-every requires -checkpoint") {
+		t.Fatalf("dead -every accepted: %v", err)
+	}
+	err = run([]string{"-algo", "pagerank", "-resume"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-resume requires -checkpoint") {
+		t.Fatalf("dead -resume accepted: %v", err)
+	}
+	err = run([]string{"-suite", "testdata/suite-faults.json", "-checkpoint", "x"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("-checkpoint accepted alongside -suite: %v", err)
+	}
+}

@@ -60,6 +60,7 @@ type statKey struct {
 
 type fileDigest struct {
 	digest uint64
+	sha256 string
 	err    error
 }
 
@@ -129,12 +130,18 @@ func (c *DatasetCache) fileGraph(name string, fd fileDataset) (*Graph, error) {
 	}
 	sk := statKey{path: fd.path, size: st.Size(), mtimeNanos: st.ModTime().UnixNano()}
 	d := c.digests.Get(sk, func() fileDigest {
-		digest, err := fd.digest()
-		return fileDigest{digest: digest, err: err}
+		digest, sha, err := fd.digests()
+		return fileDigest{digest: digest, sha256: sha, err: err}
 	})
 	if d.err != nil {
 		c.digests.Drop(sk)
 		return nil, fmt.Errorf("gx: dataset %q: %w", name, d.err)
+	}
+	// A reference that pins a digest is verified against the memoized
+	// pass before the load is consulted; the digest entry itself stays
+	// (it is correct — the expectation is what failed).
+	if fd.sha256 != "" && d.sha256 != fd.sha256 {
+		return nil, &DigestMismatchError{Path: fd.path, Want: fd.sha256, Got: d.sha256}
 	}
 	fk := fileKey{path: fd.path, digest: d.digest, format: fd.format}
 	r := c.files.Get(fk, func() loadedGraph {

@@ -36,7 +36,9 @@
 // well-formed and the path is a readable regular file. Running a
 // snapshot is bit-identical to generating the same graph in process —
 // and an order of magnitude faster to load, which is what suite
-// cold-starts pay.
+// cold-starts pay. Any file form may pin the expected content with
+// "#sha256=HEX"; a swapped or bitrotted file then fails with a
+// [DigestMismatchError] instead of silently changing results.
 //
 // Functional options refine a scenario at the call site: [WithMaxIter],
 // [WithNet], [WithGraph], [WithAlgorithm], [WithPlug],
@@ -69,6 +71,19 @@
 // [EntryTotals] (and fan out to [WithSuiteObserver]), and a failed entry
 // records its error without aborting the batch. [WithCache] shares one
 // cache across suites.
+//
+// Robustness is part of the same vocabulary. A scenario's Faults field
+// schedules deterministic middleware faults ([FaultSpec]: daemon-crash,
+// msg-stall, accel-oom at a fixed node and superstep); recoverable ones
+// are absorbed by a bounded retry schedule charged to the virtual
+// clock, fatal ones surface as a typed [FaultError], and [FailureClass]
+// sorts any error into fault / validation / io / run (suite entries
+// carry the class). [WithCheckpoint] takes a consistent cut of the run
+// every N supersteps; [SaveCheckpoint] and [LoadCheckpoint] persist cut
+// plus graph as one snapshot-v2 file, and [Resume] continues from a cut
+// to the bit-identical final attributes and virtual makespan of an
+// uninterrupted run (see examples/fault-tolerance and `gxrun
+// -checkpoint`).
 //
 // Algorithms implement [Algorithm], the three-function GX-Plug template
 // (MSGGen / MSGMerge / MSGApply) re-exported here so external code never

@@ -23,6 +23,15 @@ import (
 // (the file is the graph) and are ignored. Validation checks the form
 // and that the path names a readable regular file, so typos fail
 // loudly at Validate time like unknown registry names do.
+//
+// Any form may append an expected content digest:
+//
+//	file+snapshot:PATH#sha256=HEX
+//
+// with HEX the 64-hex-digit SHA-256 of the file's bytes. Loads verify
+// the digest before parsing and fail with a [DigestMismatchError] when
+// the file's content is not the one the scenario pinned — a swapped or
+// bitrotted dataset fails loudly instead of silently changing results.
 
 // fileFormat is the declared or sniffed encoding of a file dataset.
 type fileFormat string
@@ -37,6 +46,22 @@ const (
 type fileDataset struct {
 	path   string
 	format fileFormat
+	// sha256 is the expected content digest (lowercase hex), "" when
+	// the reference does not pin one.
+	sha256 string
+}
+
+// DigestMismatchError reports a `file:` dataset whose content does not
+// match the digest its reference pinned.
+type DigestMismatchError struct {
+	Path string
+	Want string // expected SHA-256, lowercase hex
+	Got  string // actual SHA-256, lowercase hex
+}
+
+func (e *DigestMismatchError) Error() string {
+	return fmt.Sprintf("gx: dataset file %s: content digest sha256:%s does not match pinned sha256:%s",
+		e.Path, e.Got, e.Want)
 }
 
 // parseFileDataset recognizes the `file:` dataset forms. ok reports
@@ -61,10 +86,30 @@ func parseFileDataset(name string) (fd fileDataset, ok bool, err error) {
 	default:
 		return fd, false, nil
 	}
+	if path, hex, found := strings.Cut(fd.path, "#sha256="); found {
+		hex = strings.ToLower(hex)
+		if !validSHA256Hex(hex) {
+			return fd, true, fmt.Errorf("gx: dataset %q: malformed sha256 digest %q (want 64 hex digits)", name, hex)
+		}
+		fd.path, fd.sha256 = path, hex
+	}
 	if fd.path == "" {
 		return fd, true, fmt.Errorf("gx: dataset %q: empty file path", name)
 	}
 	return fd, true, nil
+}
+
+// validSHA256Hex reports whether s is a 64-digit lowercase hex string.
+func validSHA256Hex(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // check validates that the path names a readable regular file.
@@ -96,10 +141,29 @@ func (fd fileDataset) resolve() (fileDataset, error) {
 	return fd, nil
 }
 
-// load reads the graph from disk.
+// verify checks the file's content against the reference's pinned
+// digest, if any.
+func (fd fileDataset) verify() error {
+	if fd.sha256 == "" {
+		return nil
+	}
+	_, got, err := ingest.FileDigests(fd.path)
+	if err != nil {
+		return err
+	}
+	if got != fd.sha256 {
+		return &DigestMismatchError{Path: fd.path, Want: fd.sha256, Got: got}
+	}
+	return nil
+}
+
+// load reads the graph from disk, verifying a pinned digest first.
 func (fd fileDataset) load() (*Graph, error) {
 	fd, err := fd.resolve()
 	if err != nil {
+		return nil, err
+	}
+	if err := fd.verify(); err != nil {
 		return nil, err
 	}
 	switch fd.format {
@@ -114,8 +178,9 @@ func (fd fileDataset) load() (*Graph, error) {
 	}
 }
 
-// digest returns the content digest the dataset cache keys file loads
-// by.
-func (fd fileDataset) digest() (uint64, error) {
-	return ingest.FileDigest(fd.path)
+// digests returns the content digests of the file in one read: the
+// CRC64 key the dataset cache memoizes loads by, and the SHA-256 that
+// pinned references are verified against.
+func (fd fileDataset) digests() (uint64, string, error) {
+	return ingest.FileDigests(fd.path)
 }

@@ -44,6 +44,14 @@ type (
 	Result = engine.Result
 	// EngineSpec is the calibrated model of one upper system.
 	EngineSpec = engine.Spec
+	// FaultError is the typed failure an unabsorbed injected fault
+	// surfaces as: kind, node, superstep.
+	FaultError = engine.FaultError
+	// CheckpointState is a consistent superstep-boundary cut of a run,
+	// captured by [WithCheckpoint] and continued by [Resume].
+	CheckpointState = engine.CheckpointState
+	// NodeClock is one node's captured virtual-time accounting.
+	NodeClock = engine.NodeClock
 	// Superstep is the per-superstep progress report an Observer receives.
 	Superstep = engine.SuperstepInfo
 	// Observer receives one Superstep after every iteration. Nil costs
@@ -58,6 +66,17 @@ type (
 	DeviceSpec = device.Spec
 	// AgentStats aggregates one agent's middleware activity.
 	AgentStats = gxplug.Stats
+)
+
+// Fault kinds a scenario's fault plan may schedule (see [FaultSpec]).
+const (
+	// FaultDaemonCrash kills one accelerator daemon on the node. Fatal.
+	FaultDaemonCrash = engine.FaultDaemonCrash
+	// FaultMsgStall stalls daemon control messages; absorbed by a
+	// bounded, deterministically-charged retry/backoff schedule.
+	FaultMsgStall = engine.FaultMsgStall
+	// FaultAccelOOM forces a device allocation beyond capacity. Fatal.
+	FaultAccelOOM = engine.FaultAccelOOM
 )
 
 // V100 returns the paper testbed's GPU model.

@@ -6,14 +6,16 @@ import (
 
 // runConfig collects what the functional options override.
 type runConfig struct {
-	graph    *Graph
-	alg      Algorithm
-	plugs    []PlugOptions
-	havePlug bool
-	part     *Partitioning
-	net      *Network
-	maxIter  *int
-	obs      Observer
+	graph     *Graph
+	alg       Algorithm
+	plugs     []PlugOptions
+	havePlug  bool
+	part      *Partitioning
+	net       *Network
+	maxIter   *int
+	obs       Observer
+	ckptEvery int
+	ckptSink  func(*CheckpointState) error
 }
 
 func (rc *runConfig) provided() provided {
@@ -64,11 +66,48 @@ func WithMaxIter(n int) Option { return func(rc *runConfig) { rc.maxIter = &n } 
 // is free.
 func WithObserver(obs Observer) Option { return func(rc *runConfig) { rc.obs = obs } }
 
+// WithCheckpoint takes a consistent-cut checkpoint after every `every`
+// completed supersteps and hands it to sink — typically
+// [SaveCheckpoint], which persists it next to the graph as a
+// snapshot-v2 file. The cut's simulated storage cost is charged to the
+// virtual clock, identically in the original and any resumed run, so
+// [Resume] reproduces the uninterrupted run bit for bit. Incompatible
+// with bounded synchronization caches (see Scenario.CacheCapacity).
+func WithCheckpoint(every int, sink func(*CheckpointState) error) Option {
+	return func(rc *runConfig) { rc.ckptEvery, rc.ckptSink = every, sink }
+}
+
 // Run validates the scenario, resolves every registered name, builds the
 // engine configuration and executes it. Options override individual
 // pieces; everything else flows from the scenario, so a JSON file and a
 // struct literal describe identical runs.
 func Run(s Scenario, opts ...Option) (*Result, error) {
+	cfg, err := prepare(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(cfg)
+}
+
+// Resume continues a run from a checkpoint taken by [WithCheckpoint]
+// under the same scenario (typically reloaded with [LoadCheckpoint],
+// handing the checkpoint's graph back via [WithGraph]). The scenario's
+// fault plan is not re-armed — the crash the checkpoint recovered from
+// belongs to the previous incarnation — and the completed run is
+// bit-identical, in final attributes and virtual makespan, to one that
+// never stopped.
+func Resume(s Scenario, st *CheckpointState, opts ...Option) (*Result, error) {
+	cfg, err := prepare(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Resume(cfg, st)
+}
+
+// prepare validates the scenario (wrapping rejections in
+// [ValidationError]) and maps it plus the options onto the engine
+// configuration.
+func prepare(s Scenario, opts []Option) (engine.Config, error) {
 	var rc runConfig
 	for _, opt := range opts {
 		if opt != nil {
@@ -82,13 +121,9 @@ func Run(s Scenario, opts ...Option) (*Result, error) {
 	have := rc.provided()
 	have.plug = true
 	if err := s.validate(have); err != nil {
-		return nil, err
+		return engine.Config{}, &ValidationError{Err: err}
 	}
-	cfg, err := buildConfig(s, &rc)
-	if err != nil {
-		return nil, err
-	}
-	return engine.Run(cfg)
+	return buildConfig(s, &rc)
 }
 
 // buildConfig maps a validated, defaults-applied scenario (plus option
@@ -99,12 +134,20 @@ func buildConfig(s Scenario, rc *runConfig) (engine.Config, error) {
 		return engine.Config{}, err
 	}
 	cfg := engine.Config{
-		Spec:          eng.Spec(),
-		Nodes:         s.Nodes,
-		MaxIter:       s.MaxIter,
-		CacheCapacity: s.CacheCapacity,
-		Partitioning:  rc.part,
-		Observer:      rc.obs,
+		Spec:            eng.Spec(),
+		Nodes:           s.Nodes,
+		MaxIter:         s.MaxIter,
+		CacheCapacity:   s.CacheCapacity,
+		Partitioning:    rc.part,
+		Observer:        rc.obs,
+		CheckpointEvery: rc.ckptEvery,
+		CheckpointSink:  rc.ckptSink,
+	}
+	if len(s.Faults) > 0 {
+		cfg.Faults = make([]engine.Fault, len(s.Faults))
+		for i, f := range s.Faults {
+			cfg.Faults[i] = engine.Fault{Kind: f.Kind, Node: f.Node, Superstep: f.Superstep, Param: f.Param}
+		}
 	}
 
 	g := rc.graph

@@ -99,6 +99,25 @@ type Scenario struct {
 	// Opt overrides the optimization toggles of every plugged node; nil
 	// keeps the profile defaults (all on).
 	Opt *Toggles `json:"opt,omitempty"`
+	// Faults is the deterministic fault-injection plan: each entry is
+	// armed on its node's middleware agent at the top of its superstep.
+	// Requires an accelerator profile (faults live in the middleware;
+	// native execution has nothing to fault).
+	Faults []FaultSpec `json:"faults,omitempty"`
+}
+
+// FaultSpec schedules one injected fault in a scenario's plan. Kind is
+// one of [FaultDaemonCrash] ("daemon-crash"), [FaultMsgStall]
+// ("msg-stall") or [FaultAccelOOM] ("accel-oom"); Param refines it —
+// the daemon index for daemon-crash, the stall count for msg-stall.
+// Fatal kinds surface from Run as a typed [FaultError]; recoverable
+// ones (msg-stall within the retry budget) degrade deterministically
+// on the virtual clock.
+type FaultSpec struct {
+	Kind      string `json:"kind"`
+	Node      int    `json:"node"`
+	Superstep int    `json:"superstep"`
+	Param     int64  `json:"param,omitempty"`
 }
 
 // WithDefaults returns the scenario with zero-valued optional fields
@@ -155,6 +174,20 @@ func (s Scenario) validate(have provided) error {
 	if s.CacheCapacity < 0 {
 		fail("cache_capacity %d (want ≥ 0)", s.CacheCapacity)
 	}
+	for i, f := range s.Faults {
+		switch f.Kind {
+		case FaultDaemonCrash, FaultMsgStall, FaultAccelOOM:
+		default:
+			fail("fault %d: unknown kind %q (want %q, %q or %q)",
+				i, f.Kind, FaultDaemonCrash, FaultMsgStall, FaultAccelOOM)
+		}
+		if f.Node < 0 || (s.Nodes > 0 && f.Node >= s.Nodes) {
+			fail("fault %d: node %d of %d", i, f.Node, s.Nodes)
+		}
+		if f.Superstep < 0 {
+			fail("fault %d: superstep %d (want ≥ 0)", i, f.Superstep)
+		}
+	}
 
 	if _, err := engineReg.lookup(s.Engine); err != nil {
 		errs = append(errs, err)
@@ -190,6 +223,10 @@ func (s Scenario) validate(have provided) error {
 			fail("mix has %d entries for %d nodes", len(s.Mix), s.Nodes)
 		} else if ps, err := s.plugs(); err != nil {
 			errs = append(errs, err)
+		} else if len(s.Faults) > 0 && ps == nil {
+			// Faults are middleware events: arming one on a native node
+			// would be a silent no-op.
+			fail("faults require an accelerator (native execution has no middleware to fault)")
 		} else if s.CacheCapacity > 0 {
 			// The bound only means something when there is a cache to
 			// bound: a plugged run with caching on.

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // SuiteEntry is one named run of a suite: a [Scenario] plus the name its
@@ -115,6 +116,12 @@ type EntryTotals struct {
 	SkippedSyncs int
 	// Cache* sum the synchronization-cache activity over all supersteps.
 	CacheHits, CacheMisses, CacheEvictions, CacheDirtySpills int64
+	// FaultsInjected counts faults armed by the entry's fault plan.
+	FaultsInjected int
+	// FaultRetries sums the stall retries the middleware absorbed.
+	FaultRetries int64
+	// CheckpointTime sums the virtual time charged to checkpoint cuts.
+	CheckpointTime time.Duration
 }
 
 func (t *EntryTotals) add(st Superstep) {
@@ -129,6 +136,9 @@ func (t *EntryTotals) add(st Superstep) {
 	t.CacheMisses += st.CacheMisses
 	t.CacheEvictions += st.CacheEvictions
 	t.CacheDirtySpills += st.CacheDirtySpills
+	t.FaultsInjected += st.FaultsInjected
+	t.FaultRetries += st.FaultRetries
+	t.CheckpointTime += st.CheckpointTime
 }
 
 // EntryResult is the outcome of one suite entry.
@@ -144,6 +154,9 @@ type EntryResult struct {
 	// Err records a failed entry. One failed entry does not abort the
 	// suite; the others still run.
 	Err error
+	// Class is [FailureClass] of Err: "fault", "validation", "io" or
+	// "run"; empty for a successful entry.
+	Class string
 }
 
 // SuiteResult is the outcome of RunSuite: per-entry results in suite
@@ -304,8 +317,9 @@ func RunSuite(suite Suite, opts ...SuiteOption) (*SuiteResult, error) {
 // runSuiteEntry executes one defaults-applied entry against the shared
 // cache, aggregating its superstep reports into totals. cbMu is the
 // suite-wide callback lock shared with entry-done emission.
-func runSuiteEntry(e SuiteEntry, cache *DatasetCache, cbMu *sync.Mutex, obs func(string, Superstep)) EntryResult {
-	er := EntryResult{Name: e.Name, Scenario: e.Scenario}
+func runSuiteEntry(e SuiteEntry, cache *DatasetCache, cbMu *sync.Mutex, obs func(string, Superstep)) (er EntryResult) {
+	defer func() { er.Class = FailureClass(er.Err) }()
+	er = EntryResult{Name: e.Name, Scenario: e.Scenario}
 	g, err := cache.Graph(e.Dataset, e.Scale, e.Seed)
 	if err != nil {
 		er.Err = err

@@ -65,6 +65,25 @@ func (n *Node) Charge(bucket string, d time.Duration) {
 // Bucket returns the accumulated time in a bucket.
 func (n *Node) Bucket(name string) time.Duration { return n.buckets[name] }
 
+// Restore rewinds the node to a previously captured accounting state:
+// the clock is reset and re-advanced to clock, and the buckets are
+// replaced by the given totals (zero entries are dropped, matching a
+// node that never charged that bucket). Checkpoint resume uses it to
+// discard the cost of reconstructing in-memory state — a resumed run
+// must account exactly what the checkpointed run had.
+func (n *Node) Restore(clock time.Duration, buckets map[string]time.Duration) {
+	n.Clock.Reset()
+	n.Clock.Advance(clock)
+	for k := range n.buckets {
+		delete(n.buckets, k)
+	}
+	for k, v := range buckets {
+		if v != 0 {
+			n.buckets[k] = v
+		}
+	}
+}
+
 // Buckets returns a copy of all accounting buckets.
 func (n *Node) Buckets() map[string]time.Duration {
 	out := make(map[string]time.Duration, len(n.buckets))
@@ -138,6 +157,10 @@ func (c *Cluster) Barrier(bucket string) {
 
 // Barriers reports how many barriers have executed.
 func (c *Cluster) Barriers() int { return c.barriers }
+
+// RestoreBarriers overwrites the barrier counter with a checkpointed
+// value (see Node.Restore).
+func (c *Cluster) RestoreBarriers(n int) { c.barriers = n }
 
 // Exchange performs an all-to-all data exchange. vol[i][j] is the number
 // of bytes node i sends to node j. Each node pays latency per non-empty

@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -86,6 +87,18 @@ type Config struct {
 	// a bounded cache are spilled and uploaded at serialized phase
 	// boundaries, so results stay bit-identical to the unbounded run.
 	CacheCapacity int
+	// Faults is the deterministic fault-injection plan: each entry is
+	// armed on its node's agent at the top of its superstep. Requires
+	// Plug (faults live in the middleware layer). See fault.go.
+	Faults []Fault
+	// CheckpointEvery, when > 0, takes a consistent-cut checkpoint
+	// after every CheckpointEvery completed supersteps and hands it to
+	// CheckpointSink. The two must be set together, and checkpointing
+	// is incompatible with bounded caches (CacheCapacity, here or in a
+	// Plug option): a bounded cache's contents depend on eviction
+	// history, which a resumed run cannot reconstruct.
+	CheckpointEvery int
+	CheckpointSink  func(*CheckpointState) error
 	// Net overrides the cluster network (zero value: DatacenterNet).
 	Net cluster.NetworkSpec
 	// Observer, when non-nil, receives one SuperstepInfo after every
@@ -122,6 +135,15 @@ type SuperstepInfo struct {
 	CacheMisses      int64
 	CacheEvictions   int64
 	CacheDirtySpills int64
+	// FaultsInjected counts the scenario faults armed at the top of
+	// this superstep; FaultRetries counts the injected message stalls
+	// the middleware absorbed during it (bounded retry/backoff, charged
+	// to virtual time), summed over all agents.
+	FaultsInjected int
+	FaultRetries   int64
+	// CheckpointTime is the virtual makespan cost of the checkpoint
+	// taken at the end of this superstep (zero when none was due).
+	CheckpointTime time.Duration
 	// Changed reports whether any vertex changed; the run ends after the
 	// first superstep where it is false.
 	Changed bool
@@ -186,6 +208,36 @@ func newRunner(cfg Config) (*runner, error) {
 	if cfg.CacheCapacity < 0 {
 		return nil, fmt.Errorf("engine: cache capacity %d (want ≥ 0)", cfg.CacheCapacity)
 	}
+	if len(cfg.Faults) > 0 && len(cfg.Plug) == 0 {
+		return nil, fmt.Errorf("engine: fault plan requires plugged middleware")
+	}
+	for i, f := range cfg.Faults {
+		if !validFaultKind(f.Kind) {
+			return nil, fmt.Errorf("engine: fault %d: unknown kind %q", i, f.Kind)
+		}
+		if f.Node < 0 || f.Node >= cfg.Nodes {
+			return nil, fmt.Errorf("engine: fault %d: node %d of %d", i, f.Node, cfg.Nodes)
+		}
+		if f.Superstep < 0 {
+			return nil, fmt.Errorf("engine: fault %d: superstep %d (want ≥ 0)", i, f.Superstep)
+		}
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("engine: checkpoint every %d (want ≥ 0)", cfg.CheckpointEvery)
+	}
+	if (cfg.CheckpointEvery > 0) != (cfg.CheckpointSink != nil) {
+		return nil, fmt.Errorf("engine: CheckpointEvery and CheckpointSink must be set together")
+	}
+	if cfg.CheckpointEvery > 0 {
+		if cfg.CacheCapacity > 0 {
+			return nil, fmt.Errorf("engine: checkpointing is incompatible with a bounded cache (CacheCapacity %d)", cfg.CacheCapacity)
+		}
+		for i, o := range cfg.Plug {
+			if o.CacheCapacity > 0 {
+				return nil, fmt.Errorf("engine: checkpointing is incompatible with a bounded cache (plug %d CacheCapacity %d)", i, o.CacheCapacity)
+			}
+		}
+	}
 	g, alg := cfg.Graph, cfg.Alg
 	part := cfg.Partitioning
 	if part == nil {
@@ -208,6 +260,12 @@ func newRunner(cfg Config) (*runner, error) {
 		},
 		aw: alg.AttrWidth(),
 		mw: alg.MsgWidth(),
+	}
+	if len(cfg.Faults) > 0 {
+		r.faultsAt = make(map[int][]Fault)
+		for _, f := range cfg.Faults {
+			r.faultsAt[f.Superstep] = append(r.faultsAt[f.Superstep], f)
+		}
 	}
 	return r, nil
 }
@@ -257,10 +315,20 @@ type runner struct {
 
 	skipped int
 
+	// faultsAt indexes the fault plan by superstep (nil without one).
+	faultsAt map[int][]Fault
+	// pre, when non-nil, is checkpointed state setup preloads before
+	// agents connect — priming must ship checkpointed values.
+	pre *CheckpointState
+
 	// Observer bookkeeping, maintained only when cfg.Observer != nil.
 	obsMsgs    int64
 	obsBytes   int64
 	obsMirrors int
+	obsFaults  int
+	// obsCkpt accumulates checkpoint makespan cost (set even without an
+	// observer — it is a plain store, cheaper than gating).
+	obsCkpt time.Duration
 	// obsCache is the cumulative cache-counter snapshot taken before the
 	// superstep; superstepInfo reports the delta.
 	obsCache cacheCounters
@@ -269,6 +337,7 @@ type runner struct {
 // cacheCounters aggregates the cache activity of all agents.
 type cacheCounters struct {
 	hits, misses, evictions, spills int64
+	stallRetries                    int64
 }
 
 // cacheCounters sums the agents' cumulative cache counters (zero when
@@ -281,6 +350,7 @@ func (r *runner) cacheCounters() cacheCounters {
 		c.misses += s.CacheMisses
 		c.evictions += s.CacheEvictions
 		c.spills += s.DirtySpills
+		c.stallRetries += s.StallRetries
 	}
 	return c
 }
@@ -346,11 +416,15 @@ func (r *runner) run() (*Result, error) {
 		return nil, err
 	}
 
-	iterations, err := r.loop()
+	iterations, err := r.loopFrom(0, nil)
 	if err != nil {
 		return nil, err
 	}
+	return r.finish(iterations), nil
+}
 
+// finish disconnects agents and assembles the Result.
+func (r *runner) finish(iterations int) *Result {
 	res := &Result{
 		Attrs:        r.attrs,
 		Iterations:   iterations,
@@ -369,7 +443,7 @@ func (r *runner) run() (*Result, error) {
 		res.MiddlewareTime += nd.Bucket(bucketMiddleware)
 		res.UpperTime += nd.Bucket(bucketUpper)
 	}
-	return res, nil
+	return res
 }
 
 // setup initializes authoritative state, routing indexes, reusable
@@ -386,6 +460,10 @@ func (r *runner) setup() error {
 	}
 	r.active = template.InitialFrontier(r.alg, n)
 	r.activeFn = func(v graph.VertexID) bool { return r.active[v] }
+	if r.pre != nil {
+		copy(r.attrs, r.pre.Attrs)
+		copy(r.active, r.pre.Active)
+	}
 	r.buildMirrors()
 	r.masterRow = make([]int32, n)
 	for _, part := range r.part.Parts {
@@ -491,13 +569,14 @@ func (r *runner) skipEnabled() bool {
 	return true
 }
 
-// loop drives iterations in the model's API order until quiescence.
-func (r *runner) loop() (int, error) {
+// loopFrom drives iterations in the model's API order until
+// quiescence, starting at superstep `start` (0 for a fresh run; a
+// checkpoint's Iteration when resuming, with the rebuilt GAS carry).
+func (r *runner) loopFrom(start int, carry *gasCarry) (int, error) {
 	hints := r.alg.Hints()
 	maxIter := r.maxIterations()
-	iter := 0
+	iter := start
 	obs := r.cfg.Observer
-	var carry *gasCarry // GAS scatter state across rounds
 
 	for {
 		if maxIter > 0 && iter >= maxIter {
@@ -513,7 +592,16 @@ func (r *runner) loop() (int, error) {
 			frontier = r.frontierSize()
 			skippedBefore = r.skipped
 			r.obsMsgs, r.obsBytes, r.obsMirrors = 0, 0, 0
+			r.obsFaults, r.obsCkpt = 0, 0
 			r.obsCache = r.cacheCounters()
+		}
+		if r.faultsAt != nil {
+			for _, f := range r.faultsAt[iter] {
+				r.armFault(f)
+				if obs != nil {
+					r.obsFaults++
+				}
+			}
 		}
 
 		var changedAny bool
@@ -525,9 +613,18 @@ func (r *runner) loop() (int, error) {
 			changedAny, err = r.iterateBSP()
 		}
 		if err != nil {
+			var inj *gxplug.InjectedFaultError
+			if errors.As(err, &inj) {
+				err = &FaultError{Kind: inj.Kind, Node: inj.Node, Superstep: iter, Err: err}
+			}
 			return iter, err
 		}
 		iter++
+		if r.cfg.CheckpointEvery > 0 && iter%r.cfg.CheckpointEvery == 0 {
+			if err := r.checkpoint(iter, carry, changedAny); err != nil {
+				return iter, err
+			}
+		}
 		if obs != nil {
 			obs(r.superstepInfo(iter-1, frontier, skippedBefore, changedAny))
 		}
@@ -553,6 +650,9 @@ func (r *runner) superstepInfo(iter, frontier, skippedBefore int, changed bool) 
 		CacheMisses:      cc.misses - r.obsCache.misses,
 		CacheEvictions:   cc.evictions - r.obsCache.evictions,
 		CacheDirtySpills: cc.spills - r.obsCache.spills,
+		FaultsInjected:   r.obsFaults,
+		FaultRetries:     cc.stallRetries - r.obsCache.stallRetries,
+		CheckpointTime:   r.obsCkpt,
 		Changed:          changed,
 		Makespan:         r.cl.MaxTime(),
 	}

@@ -85,3 +85,67 @@ func FuzzEdgeListParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSnapshotV2DecodeNoPanic drives the section-aware decoder with
+// arbitrary bytes: hostile input — truncated or corrupt section tables,
+// duplicated kinds, cross-version headers — must error, never panic.
+// Inputs that do decode must re-encode and decode to the same graph and
+// sections, and every typed section codec must handle the decoded
+// payloads without panicking.
+func FuzzSnapshotV2DecodeNoPanic(f *testing.F) {
+	g := testGraph(f)
+	var v1 bytes.Buffer
+	if err := Save(&v1, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	var v2 bytes.Buffer
+	if err := SaveV2(&v2, g, testSections(g)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	var empty bytes.Buffer
+	if err := SaveV2(&empty, g, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	for _, data := range corruptions(v2.Bytes()) {
+		f.Add(data)
+	}
+	for _, data := range corruptionsV2(g, v2.Bytes()) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, secs, err := LoadSnapshotV2(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, sec := range secs {
+			// Typed payload codecs must tolerate whatever structurally
+			// valid sections carry.
+			switch sec.Kind {
+			case SectionVertexAttrs:
+				_, _, _ = DecodeVertexAttrs(sec.Data)
+			case SectionScalars:
+				_, _ = DecodeFloat64s(sec.Data)
+			case SectionIteration:
+				_, _ = DecodeUint64(sec.Data)
+			case SectionActive:
+				_, _ = DecodeBools(sec.Data)
+			case SectionClocks, SectionEngineState:
+				_, _ = DecodeInt64s(sec.Data)
+			}
+		}
+		var buf bytes.Buffer
+		if err := SaveV2(&buf, g, secs); err != nil {
+			t.Fatalf("re-encoding a decoded v2 snapshot failed: %v", err)
+		}
+		back, backSecs, err := LoadSnapshotV2(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if !csrEqual(g, back) || !sectionsEqual(secs, backSecs) {
+			t.Fatal("decode → encode → decode not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package ingest
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// Gzip-compressed edge lists must parse to exactly the graph their
+// uncompressed counterparts do — same CSR arrays, same original-id map.
+func TestParseEdgeListFileGzipEquivalence(t *testing.T) {
+	const corpus = "# tiny corpus\n5 9\n9 5 0.5\n2 5\n% trailer comment\n7 2 3.25\n"
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "corpus.el")
+	if err := os.WriteFile(plain, []byte(corpus), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	packed := filepath.Join(dir, "corpus.el.gz")
+	f, err := os.Create(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write([]byte(corpus)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := ParseEdgeListFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseEdgeListFile(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csrEqual(want.Graph, got.Graph) {
+		t.Fatal("gzip parse produced different CSR arrays")
+	}
+	if !reflect.DeepEqual(want.OrigID, got.OrigID) {
+		t.Fatal("gzip parse produced a different original-id map")
+	}
+}
+
+// A file that merely starts with the gzip magic but is not a valid
+// stream must fail loudly, not parse as text.
+func TestParseEdgeListFileCorruptGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.gz")
+	if err := os.WriteFile(path, []byte{0x1f, 0x8b, 0xff, 0xff, 0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseEdgeListFile(path); err == nil {
+		t.Fatal("corrupt gzip stream accepted")
+	}
+}
+
+// A truncated gzip stream (valid header, cut payload) must also error.
+func TestParseEdgeListFileTruncatedGzip(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.gz")
+	f, err := os.Create(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	for i := 0; i < 1000; i++ {
+		if _, err := zw.Write([]byte("0 1\n1 2\n2 0\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.gz")
+	if err := os.WriteFile(cut, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseEdgeListFile(cut); err == nil {
+		t.Fatal("truncated gzip stream accepted")
+	}
+}

@@ -17,6 +17,7 @@ package ingest
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"math"
@@ -122,14 +123,27 @@ func ParseEdgeList(r io.Reader) (*Parsed, error) {
 	return &Parsed{Graph: g, OrigID: orig}, nil
 }
 
-// ParseEdgeListFile is ParseEdgeList over a file.
+// ParseEdgeListFile is ParseEdgeList over a file. Gzip-compressed edge
+// lists are detected by content (the two-byte gzip magic), not by file
+// extension, and decompressed transparently — a `.el.gz` corpus parses
+// to exactly the graph its uncompressed counterpart does.
 func ParseEdgeListFile(path string) (*Parsed, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: %w", err)
 	}
 	defer f.Close()
-	p, err := ParseEdgeList(bufio.NewReaderSize(f, 1<<20))
+	br := bufio.NewReaderSize(f, 1<<20)
+	var r io.Reader = br
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("%s: ingest: gzip: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	p, err := ParseEdgeList(r)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

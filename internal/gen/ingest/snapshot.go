@@ -2,7 +2,9 @@ package ingest
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"hash/crc32"
 	"hash/crc64"
@@ -55,62 +57,108 @@ var (
 	ecma       = crc64.MakeTable(crc64.ECMA)
 )
 
+func crc32Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
 // SnapshotSize returns the exact encoded size in bytes of a snapshot
 // holding numV vertices and numE edges.
 func SnapshotSize(numV int, numE int64) int64 {
 	return headerLen + 2*8*int64(numV+1) + 2*(4+8)*numE + 4
 }
 
-// Save writes g as a version-1 binary CSR snapshot. The write is
-// single-pass and streaming: sections flow through the checksum as they
-// are encoded, so no payload-sized buffer is built.
-func Save(w io.Writer, g *graph.Graph) error {
-	outOff, outDst, outW, inOff, inSrc, inW := g.CSR()
+// snapshotWriter bundles the buffered writer, running payload checksum
+// and bounded scratch buffer both snapshot versions encode through.
+type snapshotWriter struct {
+	w       *bufio.Writer
+	crc     *crc32Hash
+	tee     io.Writer
+	scratch []byte
+}
 
-	var hdr [headerLen]byte
-	copy(hdr[0:6], snapshotMagic)
-	binary.LittleEndian.PutUint16(hdr[6:8], snapshotVersion)
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.NumVertices()))
-	binary.LittleEndian.PutUint64(hdr[16:24], uint64(g.NumEdges()))
-	binary.LittleEndian.PutUint32(hdr[24:28], crc32.Checksum(hdr[0:24], castagnoli))
+// crc32Hash narrows hash.Hash32 to what the writer needs.
+type crc32Hash struct {
+	sum uint32
+}
 
+func (h *crc32Hash) Write(p []byte) (int, error) {
+	h.sum = crc32.Update(h.sum, castagnoli, p)
+	return len(p), nil
+}
+
+func newSnapshotWriter(w io.Writer) *snapshotWriter {
 	bw := bufio.NewWriterSize(w, chunkBytes)
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("ingest: snapshot header: %w", err)
+	crc := &crc32Hash{}
+	return &snapshotWriter{
+		w:       bw,
+		crc:     crc,
+		tee:     io.MultiWriter(bw, crc),
+		scratch: make([]byte, chunkBytes),
 	}
-	crc := crc32.New(castagnoli)
-	tee := io.MultiWriter(bw, crc)
-	scratch := make([]byte, chunkBytes)
+}
+
+func (sw *snapshotWriter) finish() error {
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], sw.crc.sum)
+	if _, err := sw.w.Write(foot[:]); err != nil {
+		return fmt.Errorf("ingest: snapshot footer: %w", err)
+	}
+	return sw.w.Flush()
+}
+
+// writeCSR streams the six CSR arrays — the shared payload prefix of
+// both snapshot versions — through w.
+func writeCSR(w io.Writer, g *graph.Graph, scratch []byte) error {
+	outOff, outDst, outW, inOff, inSrc, inW := g.CSR()
 	for _, sec := range []struct {
 		name  string
 		write func() error
 	}{
-		{"outOff", func() error { return writeInt64s(tee, outOff, scratch) }},
-		{"outDst", func() error { return writeVertexIDs(tee, outDst, scratch) }},
-		{"outW", func() error { return writeFloat64s(tee, outW, scratch) }},
-		{"inOff", func() error { return writeInt64s(tee, inOff, scratch) }},
-		{"inSrc", func() error { return writeVertexIDs(tee, inSrc, scratch) }},
-		{"inW", func() error { return writeFloat64s(tee, inW, scratch) }},
+		{"outOff", func() error { return writeInt64s(w, outOff, scratch) }},
+		{"outDst", func() error { return writeVertexIDs(w, outDst, scratch) }},
+		{"outW", func() error { return writeFloat64s(w, outW, scratch) }},
+		{"inOff", func() error { return writeInt64s(w, inOff, scratch) }},
+		{"inSrc", func() error { return writeVertexIDs(w, inSrc, scratch) }},
+		{"inW", func() error { return writeFloat64s(w, inW, scratch) }},
 	} {
 		if err := sec.write(); err != nil {
 			return fmt.Errorf("ingest: snapshot %s: %w", sec.name, err)
 		}
 	}
-	var foot [4]byte
-	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
-	if _, err := bw.Write(foot[:]); err != nil {
-		return fmt.Errorf("ingest: snapshot footer: %w", err)
+	return nil
+}
+
+// Save writes g as a version-1 binary CSR snapshot. The write is
+// single-pass and streaming: sections flow through the checksum as they
+// are encoded, so no payload-sized buffer is built. The v1 encoding is
+// frozen: the same graph always produces the same bytes.
+func Save(w io.Writer, g *graph.Graph) error {
+	var hdr [headerLen]byte
+	copy(hdr[0:6], snapshotMagic)
+	binary.LittleEndian.PutUint16(hdr[6:8], snapshotVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(g.NumEdges()))
+	binary.LittleEndian.PutUint32(hdr[24:28], crc32Checksum(hdr[0:24]))
+
+	bw := newSnapshotWriter(w)
+	if _, err := bw.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ingest: snapshot header: %w", err)
 	}
-	return bw.Flush()
+	if err := writeCSR(bw.tee, g, bw.scratch); err != nil {
+		return err
+	}
+	return bw.finish()
 }
 
 // SaveFile writes g as a snapshot file.
 func SaveFile(path string, g *graph.Graph) error {
+	return saveFileWith(path, func(w io.Writer) error { return Save(w, g) })
+}
+
+func saveFileWith(path string, save func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("ingest: %w", err)
 	}
-	if err := Save(f, g); err != nil {
+	if err := save(f); err != nil {
 		f.Close()
 		return fmt.Errorf("%s: %w", path, err)
 	}
@@ -123,40 +171,48 @@ func SaveFile(path string, g *graph.Graph) error {
 // LoadSnapshot decodes one snapshot from r and returns the graph it
 // holds. It validates the magic, version, header checksum, counts,
 // payload checksum and every CSR structural invariant; any trailing
-// bytes after the footer are an error.
+// bytes after the footer are an error. Version-2 payload sections are
+// validated and discarded — use LoadSnapshotV2 to keep them.
 func LoadSnapshot(r io.Reader) (*graph.Graph, error) {
-	return loadSnapshot(r, false)
+	g, _, err := loadSnapshot(r, false)
+	return g, err
 }
 
-// loadSnapshot decodes one snapshot. With sized=true the caller has
-// verified (from the container's size) that the header's counts match
-// the bytes that exist, so section buffers are allocated exactly once;
-// otherwise they grow only as data actually arrives, keeping a lying
-// header from forcing a large allocation.
-func loadSnapshot(r io.Reader, sized bool) (*graph.Graph, error) {
+// loadSnapshot decodes one snapshot of either version. With sized=true
+// the caller has verified (from the container's size) that the header's
+// counts match the bytes that exist — only possible for v1, whose size
+// is a pure function of the counts — so section buffers are allocated
+// exactly once; otherwise they grow only as data actually arrives,
+// keeping a lying header from forcing a large allocation.
+func loadSnapshot(r io.Reader, sized bool) (*graph.Graph, []Section, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("ingest: snapshot header: %w", noEOF(err))
+		return nil, nil, fmt.Errorf("ingest: snapshot header: %w", noEOF(err))
 	}
 	if string(hdr[0:6]) != snapshotMagic {
-		return nil, fmt.Errorf("ingest: bad snapshot magic %q", hdr[0:6])
+		return nil, nil, fmt.Errorf("ingest: bad snapshot magic %q", hdr[0:6])
 	}
-	if v := binary.LittleEndian.Uint16(hdr[6:8]); v != snapshotVersion {
-		return nil, fmt.Errorf("ingest: snapshot version %d (supported: %d)", v, snapshotVersion)
+	version := binary.LittleEndian.Uint16(hdr[6:8])
+	if version != snapshotVersion && version != snapshotVersion2 {
+		return nil, nil, fmt.Errorf("ingest: snapshot version %d (supported: %d, %d)",
+			version, snapshotVersion, snapshotVersion2)
 	}
-	if got, want := crc32.Checksum(hdr[0:24], castagnoli), binary.LittleEndian.Uint32(hdr[24:28]); got != want {
-		return nil, fmt.Errorf("ingest: snapshot header checksum %08x, recorded %08x", got, want)
+	if got, want := crc32Checksum(hdr[0:24]), binary.LittleEndian.Uint32(hdr[24:28]); got != want {
+		return nil, nil, fmt.Errorf("ingest: snapshot header checksum %08x, recorded %08x", got, want)
 	}
 	numV64 := binary.LittleEndian.Uint64(hdr[8:16])
 	numE64 := binary.LittleEndian.Uint64(hdr[16:24])
 	if numV64 > maxVertices {
-		return nil, fmt.Errorf("ingest: snapshot vertex count %d exceeds the 32-bit id space", numV64)
+		return nil, nil, fmt.Errorf("ingest: snapshot vertex count %d exceeds the 32-bit id space", numV64)
 	}
 	if numE64 > math.MaxInt64/(2*(4+8)) {
-		return nil, fmt.Errorf("ingest: snapshot edge count %d overflows", numE64)
+		return nil, nil, fmt.Errorf("ingest: snapshot edge count %d overflows", numE64)
 	}
 	numV := int(numV64)
 	numE := int64(numE64)
+	if version != snapshotVersion {
+		sized = false
+	}
 
 	crc := crc32.New(castagnoli)
 	pr := io.TeeReader(r, crc)
@@ -164,63 +220,78 @@ func loadSnapshot(r io.Reader, sized bool) (*graph.Graph, error) {
 
 	outOff, err := readInt64s(pr, int64(numV)+1, scratch, sized)
 	if err != nil {
-		return nil, fmt.Errorf("ingest: snapshot outOff: %w", err)
+		return nil, nil, fmt.Errorf("ingest: snapshot outOff: %w", err)
 	}
 	outDst, err := readVertexIDs(pr, numE, scratch, sized)
 	if err != nil {
-		return nil, fmt.Errorf("ingest: snapshot outDst: %w", err)
+		return nil, nil, fmt.Errorf("ingest: snapshot outDst: %w", err)
 	}
 	outW, err := readFloat64s(pr, numE, scratch, sized)
 	if err != nil {
-		return nil, fmt.Errorf("ingest: snapshot outW: %w", err)
+		return nil, nil, fmt.Errorf("ingest: snapshot outW: %w", err)
 	}
 	inOff, err := readInt64s(pr, int64(numV)+1, scratch, sized)
 	if err != nil {
-		return nil, fmt.Errorf("ingest: snapshot inOff: %w", err)
+		return nil, nil, fmt.Errorf("ingest: snapshot inOff: %w", err)
 	}
 	inSrc, err := readVertexIDs(pr, numE, scratch, sized)
 	if err != nil {
-		return nil, fmt.Errorf("ingest: snapshot inSrc: %w", err)
+		return nil, nil, fmt.Errorf("ingest: snapshot inSrc: %w", err)
 	}
 	inW, err := readFloat64s(pr, numE, scratch, sized)
 	if err != nil {
-		return nil, fmt.Errorf("ingest: snapshot inW: %w", err)
+		return nil, nil, fmt.Errorf("ingest: snapshot inW: %w", err)
+	}
+
+	var secs []Section
+	if version == snapshotVersion2 {
+		secs, err = readSections(pr, scratch)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 
 	var foot [4]byte
 	if _, err := io.ReadFull(r, foot[:]); err != nil {
-		return nil, fmt.Errorf("ingest: snapshot footer: %w", noEOF(err))
+		return nil, nil, fmt.Errorf("ingest: snapshot footer: %w", noEOF(err))
 	}
 	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(foot[:]); got != want {
-		return nil, fmt.Errorf("ingest: snapshot payload checksum %08x, recorded %08x", got, want)
+		return nil, nil, fmt.Errorf("ingest: snapshot payload checksum %08x, recorded %08x", got, want)
 	}
 	if n, _ := r.Read(scratch[:1]); n != 0 {
-		return nil, fmt.Errorf("ingest: trailing bytes after snapshot footer")
+		return nil, nil, fmt.Errorf("ingest: trailing bytes after snapshot footer")
 	}
 
 	g, err := graph.FromCSR(numV, outOff, outDst, outW, inOff, inSrc, inW)
 	if err != nil {
-		return nil, fmt.Errorf("ingest: snapshot: %w", err)
+		return nil, nil, fmt.Errorf("ingest: snapshot: %w", err)
 	}
-	return g, nil
+	return g, secs, nil
 }
 
-// LoadSnapshotFile loads a snapshot file, first checking that the file
-// size matches exactly what the header's counts imply — a cheap guard
-// that rejects truncated or padded files before any payload is read.
+// LoadSnapshotFile loads a snapshot file. For version-1 files it first
+// checks that the file size matches exactly what the header's counts
+// imply — a cheap guard that rejects truncated or padded files before
+// any payload is read; version-2 files carry variable-length sections,
+// so their integrity rests on the checksums alone.
 func LoadSnapshotFile(path string) (*graph.Graph, error) {
+	g, _, err := loadSnapshotFile(path)
+	return g, err
+}
+
+func loadSnapshotFile(path string) (*graph.Graph, []Section, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("ingest: %w", err)
+		return nil, nil, fmt.Errorf("ingest: %w", err)
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return nil, fmt.Errorf("ingest: %s: %w", path, err)
+		return nil, nil, fmt.Errorf("ingest: %s: %w", path, err)
 	}
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return nil, fmt.Errorf("ingest: %s: snapshot header: %w", path, noEOF(err))
+		return nil, nil, fmt.Errorf("ingest: %s: snapshot header: %w", path, noEOF(err))
 	}
 	// sized records that the file's size provably matches the header's
 	// counts, which lets the decoder allocate each section exactly once.
@@ -230,20 +301,20 @@ func LoadSnapshotFile(path string) (*graph.Graph, error) {
 		numE64 := binary.LittleEndian.Uint64(hdr[16:24])
 		if numV64 <= maxVertices && numE64 <= math.MaxInt64/(2*(4+8)) {
 			if want := SnapshotSize(int(numV64), int64(numE64)); st.Size() != want {
-				return nil, fmt.Errorf("ingest: %s: snapshot is %d bytes, header implies %d",
+				return nil, nil, fmt.Errorf("ingest: %s: snapshot is %d bytes, header implies %d",
 					path, st.Size(), want)
 			}
 			sized = true
 		}
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, fmt.Errorf("ingest: %s: %w", path, err)
+		return nil, nil, fmt.Errorf("ingest: %s: %w", path, err)
 	}
-	g, err := loadSnapshot(bufio.NewReaderSize(f, chunkBytes), sized)
+	g, secs, err := loadSnapshot(bufio.NewReaderSize(f, chunkBytes), sized)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return g, nil
+	return g, secs, nil
 }
 
 // IsSnapshot reports whether the file at path starts with the snapshot
@@ -278,6 +349,23 @@ func FileDigest(path string) (uint64, error) {
 		return 0, fmt.Errorf("ingest: %s: %w", path, err)
 	}
 	return h.Sum64(), nil
+}
+
+// FileDigests computes the CRC64-ECMA cache key and the SHA-256 content
+// digest (lowercase hex) of a file in a single read. Dataset refs pin
+// expected content with the SHA-256; the CRC keys the in-process cache.
+func FileDigests(path string) (uint64, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, "", fmt.Errorf("ingest: %w", err)
+	}
+	defer f.Close()
+	crc := crc64.New(ecma)
+	sha := sha256.New()
+	if _, err := io.Copy(io.MultiWriter(crc, sha), f); err != nil {
+		return 0, "", fmt.Errorf("ingest: %s: %w", path, err)
+	}
+	return crc.Sum64(), hex.EncodeToString(sha.Sum(nil)), nil
 }
 
 // noEOF converts io.EOF into io.ErrUnexpectedEOF: every caller here has

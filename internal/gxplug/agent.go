@@ -133,9 +133,12 @@ type Stats struct {
 	// DirtySpills counts dirty rows queued for upload by capacity
 	// evictions; the queue drains at the next serialized phase boundary
 	// (DrainSpill), never from inside a parallel phase.
-	DirtySpills   int64
-	LazySkipped   int64 // uploads deferred by lazy uploading
-	PushedRows    int64
+	DirtySpills int64
+	LazySkipped int64 // uploads deferred by lazy uploading
+	PushedRows  int64
+	// StallRetries counts injected message stalls absorbed by the
+	// bounded retry/backoff schedule (fault.go).
+	StallRetries  int64
 	DeviceInit    time.Duration
 	LastBlockSize int
 	LastBlocks    int
@@ -240,6 +243,11 @@ type Agent struct {
 	missRows []int
 	fetchBuf []float64
 	apply    applyScratch
+
+	// Engine-armed fault state (fault.go): pending message stalls and
+	// an armed device OOM. Daemon crashes live on the daemonProc.
+	stallPending int
+	oomPending   bool
 
 	stats     Stats
 	connected bool

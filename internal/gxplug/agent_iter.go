@@ -29,6 +29,9 @@ func (a *Agent) RequestGen(active func(graph.VertexID) bool) (*GenResult, error)
 	if !a.connected {
 		return nil, ErrNotConnected
 	}
+	if a.oomPending {
+		return nil, a.fireOOM()
+	}
 	a.stats.Iterations++
 	if !a.opts.Caching {
 		// The naive integration trusts nothing across iterations: every
@@ -305,7 +308,7 @@ func (a *Agent) runPipeline(di int, blocks []blockPlan, res *GenResult, reuseTop
 			costs[step-2][2] += tu
 		}
 		// Exchange finished: rotate n→c→u→n on both sides.
-		typ, _, err := p.request(msgExchangeFinished, nil)
+		typ, _, err := a.requestDaemon(p, msgExchangeFinished, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -314,7 +317,7 @@ func (a *Agent) runPipeline(di int, blocks []blockPlan, res *GenResult, reuseTop
 		}
 		p.rot = (p.rot + 2) % 3
 		// Compute the fresh c-chunk.
-		typ, payload, err := p.request(msgCompute, nil)
+		typ, payload, err := a.requestDaemon(p, msgCompute, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -467,7 +470,7 @@ func (a *Agent) RequestMerge(res *GenResult, incoming *Inbox) error {
 	if _, err := encodeMergeBlock(seg, res.LocalAcc, incoming.Acc(), mw); err != nil {
 		return err
 	}
-	typ, payload, err := p.request(msgMerge, nil)
+	typ, payload, err := a.requestDaemon(p, msgMerge, nil)
 	if err != nil {
 		return err
 	}
@@ -586,7 +589,7 @@ func (a *Agent) RequestApply(res *GenResult) (*ApplyResult, error) {
 			recv[sp.lo:sp.hi]); err != nil {
 			return nil, err
 		}
-		typ, payload, err := p.request(msgApply, nil)
+		typ, payload, err := a.requestDaemon(p, msgApply, nil)
 		if err != nil {
 			return nil, err
 		}

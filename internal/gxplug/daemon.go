@@ -44,6 +44,9 @@ type daemonProc struct {
 	// ExchangeFinished/RotateFinished pair, so they stay in step).
 	rot  int
 	done sync.WaitGroup
+	// crashed marks a daemon killed by an injected fault (fault.go):
+	// its request queue is gone and its goroutine has exited.
+	crashed bool
 }
 
 // phys maps a segment role (roleN/roleC/roleU) to a physical chunk index
