@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build examples test test-full race race-boundedcache race-suite race-resume cover fuzz-smoke ci bench
+.PHONY: all fmt vet lint build examples test test-full race race-boundedcache race-suite race-resume cover fuzz-smoke ci bench
 
 all: ci
 
@@ -17,6 +17,16 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Stock analyzers plus the repository's own (cmd/gxlint: determinism,
+# nilgate, wiresize, clockcharge, directive — see DESIGN.md "Static
+# analysis"). -vettool replaces the stock suite rather than extending
+# it, so lint runs vet twice; both runs fail the build on any finding.
+lint:
+	$(GO) vet ./...
+	@mkdir -p bin
+	$(GO) build -o bin/gxlint ./cmd/gxlint
+	$(GO) vet -vettool=$(CURDIR)/bin/gxlint ./...
 
 build:
 	$(GO) build ./...
@@ -65,7 +75,7 @@ cover:
 	if [ $$status -ne 0 ]; then rm -f $$out; echo "cover: tests failed"; exit $$status; fi; \
 	rc=0; \
 	while read pkg floor; do \
-		got=$$(grep -E "[[:space:]]$$pkg[[:space:]]" $$out | grep -oE 'coverage: [0-9.]+' | grep -oE '[0-9.]+'); \
+		got=$$(grep -E "^ok[[:space:]]+$$pkg([[:space:]]|$$)" $$out | grep -oE 'coverage: [0-9.]+' | grep -oE '[0-9.]+'); \
 		if [ -z "$$got" ]; then echo "cover: no coverage reported for $$pkg"; rc=1; break; fi; \
 		ok=$$(awk -v g="$$got" -v f="$$floor" 'BEGIN { print (g >= f) ? 1 : 0 }'); \
 		if [ "$$ok" != 1 ]; then echo "cover: $$pkg coverage $$got% regressed below baseline $$floor%"; rc=1; break; fi; \
@@ -85,7 +95,7 @@ fuzz-smoke:
 	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzSnapshotV2DecodeNoPanic$$' -fuzztime=10s
 	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzEdgeListParse$$' -fuzztime=10s
 
-ci: fmt vet build examples race race-boundedcache race-suite race-resume cover fuzz-smoke
+ci: fmt lint build examples race race-boundedcache race-suite race-resume cover fuzz-smoke
 
 # Record the engine superstep microbenchmarks (latency + allocs) in
 # BENCH_engine.json.

@@ -1,0 +1,243 @@
+// Command gxlint is the repository's custom vet tool. It speaks the
+// `go vet -vettool` unitchecker protocol, so the build system drives
+// it package-by-package with full export data and caches its output:
+//
+//	go vet -vettool=$(pwd)/bin/gxlint ./...
+//
+// The protocol (cmd/go/internal/work.(*Builder).vet) has three calls:
+//
+//	gxlint -flags          print the tool's flags as JSON, so the go
+//	                       command can validate command-line flags
+//	gxlint -V=full         print a version line the build cache can
+//	                       fingerprint
+//	gxlint [-name=bool...] <pkg>/vet.cfg
+//	                       analyze one package described by the JSON
+//	                       config; diagnostics go to stderr, exit 2
+//
+// The analyzers themselves live in internal/lint; each can be disabled
+// with -<name>=false. See DESIGN.md ("Static analysis") for the
+// invariants they enforce.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"gxplug/internal/lint"
+	"gxplug/internal/lint/analysis"
+)
+
+// vetConfig mirrors the JSON the go command writes next to each
+// package's build products (cmd/go/internal/work.vetConfig). Fields
+// gxlint does not consume are still named so the decode is strict
+// about shape without being strict about content.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	analyzers := lint.Analyzers()
+
+	if len(args) == 1 && args[0] == "-flags" {
+		printFlagDefs(analyzers)
+		return 0
+	}
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		// The go command parses this line to build a cache fingerprint;
+		// a "devel" version must end in a buildID= field
+		// (cmd/go/internal/work.(*Builder).toolID).
+		fmt.Println("gxlint version devel comments-go-here buildID=gxlint-" + suiteID(analyzers))
+		return 0
+	}
+
+	enabled := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	var cfgPath string
+	for _, arg := range args {
+		switch {
+		case strings.HasPrefix(arg, "-"):
+			name, val, ok := strings.Cut(strings.TrimLeft(arg, "-"), "=")
+			if !ok {
+				val = "true"
+			}
+			on, err := strconv.ParseBool(val)
+			if _, known := enabled[name]; !known || err != nil {
+				fmt.Fprintf(os.Stderr, "gxlint: unrecognized flag %s\n", arg)
+				return 1
+			}
+			enabled[name] = on
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgPath = arg
+		default:
+			fmt.Fprintf(os.Stderr, "gxlint: unexpected argument %s (want a vet .cfg path; run via go vet -vettool)\n", arg)
+			return 1
+		}
+	}
+	if cfgPath == "" {
+		fmt.Fprintln(os.Stderr, "gxlint: no vet config given; run via go vet -vettool=gxlint")
+		return 1
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	return analyzePackage(cfgPath, active)
+}
+
+func analyzePackage(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gxlint: reading config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "gxlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// gxlint produces no facts, so a dependency analyzed only for its
+	// downstream effect (VetxOnly) needs no work at all. The output
+	// file still has to exist for the cache entry to be complete.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("gxlint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "gxlint: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "gxlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data the build system already
+	// produced: source import path -> canonical path (ImportMap) ->
+	// compiled package file (PackageFile).
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	diags, err := analysis.Analyze(fset, files, cfg.ImportPath, goVersionFor(cfg.GoVersion), imp, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "gxlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// goVersionFor clamps the config's language version to something
+// go/types accepts: it wants "go1.N", not a full toolchain version.
+func goVersionFor(v string) string {
+	if v == "" {
+		return ""
+	}
+	if !strings.HasPrefix(v, "go") {
+		v = "go" + v
+	}
+	// "go1.24.3" -> "go1.24"
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) >= 2 {
+		return parts[0] + "." + parts[1]
+	}
+	return v
+}
+
+// printFlagDefs emits the JSON flag catalog the go command requests
+// before running the tool (cmd/go/internal/vet's -flags handshake).
+func printFlagDefs(analyzers []*analysis.Analyzer) {
+	type flagDef struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := make([]flagDef, 0, len(analyzers))
+	for _, a := range analyzers {
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	out, err := json.Marshal(defs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(out))
+}
+
+// suiteID folds the analyzer names and docs into a stable fingerprint
+// so the vet cache invalidates when the suite's shape changes. (Code
+// changes rebuild the binary, which changes its content hash anyway;
+// this keeps the -V output honest about what the tool runs.)
+func suiteID(analyzers []*analysis.Analyzer) string {
+	h := uint64(1469598103934665603) // FNV-1a
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	for _, a := range analyzers {
+		mix(a.Name)
+		mix(a.Doc)
+	}
+	return strconv.FormatUint(h, 16)
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestVettool drives the real protocol end to end: build the gxlint
+// binary, lay out a module seeded with one violation of each invariant,
+// and check that `go vet -vettool=gxlint ./...` fails naming all four
+// analyzers — then that the repaired module passes clean. The module is
+// named gxplug so the package-path gating matches exactly as it does on
+// this repository.
+func TestVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to the go command")
+	}
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+
+	tool := filepath.Join(t.TempDir(), "gxlint")
+	if out, err := exec.Command(goTool, "build", "-o", tool, "gxplug/cmd/gxlint").CombinedOutput(); err != nil {
+		t.Fatalf("building gxlint: %v\n%s", err, out)
+	}
+
+	dirty := writeModule(t, map[string]string{
+		"go.mod": "module gxplug\n\ngo 1.24\n",
+		// determinism: a wall-clock read in the simulated world.
+		"internal/engine/engine.go": `package engine
+
+import "time"
+
+type SuperstepInfo struct{ Superstep int }
+
+type Observer func(SuperstepInfo)
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		// nilgate: an Observer called without a nil check.
+		"internal/engine/notify.go": `package engine
+
+type Runner struct{ Obs Observer }
+
+func (r *Runner) Step(i int) {
+	r.Obs(SuperstepInfo{Superstep: i})
+}
+`,
+		// wiresize: a decoded count reaching make() unchecked.
+		"internal/gen/ingest/decode.go": `package ingest
+
+func Decode(hdr []byte) []float64 {
+	n := int(hdr[0]) | int(hdr[1])<<8
+	return make([]float64, n)
+}
+`,
+		// clockcharge: a middleware entry point returning uncharged.
+		"internal/gxplug/agent.go": `package gxplug
+
+import "time"
+
+type Agent struct{ pending int }
+
+func (a *Agent) charge(d time.Duration) {}
+
+func (a *Agent) RequestGen() error {
+	if a.pending == 0 {
+		return nil
+	}
+	a.charge(time.Millisecond)
+	return nil
+}
+`,
+	})
+	out := runVet(t, goTool, tool, dirty)
+	if out.err == nil {
+		t.Fatalf("vet passed on a module with seeded violations:\n%s", out.text)
+	}
+	for _, want := range []string{"[determinism]", "[nilgate]", "[wiresize]", "[clockcharge]",
+		"time.Now", "nil-gated", "bounds-checked", "without charging"} {
+		if !strings.Contains(out.text, want) {
+			t.Errorf("vet output missing %q:\n%s", want, out.text)
+		}
+	}
+
+	clean := writeModule(t, map[string]string{
+		"go.mod": "module gxplug\n\ngo 1.24\n",
+		"internal/engine/engine.go": `package engine
+
+type SuperstepInfo struct{ Superstep int }
+
+type Observer func(SuperstepInfo)
+`,
+		"internal/engine/notify.go": `package engine
+
+type Runner struct{ Obs Observer }
+
+func (r *Runner) Step(i int) {
+	if r.Obs != nil {
+		r.Obs(SuperstepInfo{Superstep: i})
+	}
+}
+`,
+		"internal/gen/ingest/decode.go": `package ingest
+
+func Decode(hdr []byte, max int) ([]float64, bool) {
+	n := int(hdr[0]) | int(hdr[1])<<8
+	if n > max {
+		return nil, false
+	}
+	return make([]float64, n), true
+}
+`,
+		"internal/gxplug/agent.go": `package gxplug
+
+import "time"
+
+type Agent struct{ pending int }
+
+func (a *Agent) charge(d time.Duration) {}
+
+func (a *Agent) RequestGen() error {
+	a.charge(time.Duration(a.pending) * time.Millisecond)
+	return nil
+}
+`,
+	})
+	if out := runVet(t, goTool, tool, clean); out.err != nil {
+		t.Fatalf("vet failed on a clean module: %v\n%s", out.err, out.text)
+	}
+}
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+type vetResult struct {
+	text string
+	err  error
+}
+
+func runVet(t *testing.T, goTool, tool, dir string) vetResult {
+	t.Helper()
+	cmd := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return vetResult{text: string(out), err: err}
+}

@@ -88,4 +88,14 @@
 // Algorithms implement [Algorithm], the three-function GX-Plug template
 // (MSGGen / MSGMerge / MSGApply) re-exported here so external code never
 // imports internal packages.
+//
+// # Contributing
+//
+// The invariants the tests pin at runtime — deterministic results, the
+// free nil observer, hardened decoders, fully charged middleware paths
+// — are also enforced at compile time by the repository's own vet
+// suite (cmd/gxlint; DESIGN.md "Static analysis"). Run `make lint`
+// before sending a refactor: it runs stock `go vet` plus the gxlint
+// analyzers, and `make ci` fails on any finding. Intentional
+// exceptions are annotated in place with //gxlint:<check> <reason>.
 package gx

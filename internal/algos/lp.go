@@ -168,6 +168,7 @@ func RefLP(g *graph.Graph, maxIter int) ([]float64, int) {
 				continue
 			}
 			best, bestCount := -1.0, 0.0
+			//gxlint:ordered the winner is the (count, smallest-label) maximum, which is commutative: no visit order changes it
 			for lab, c := range counts {
 				if c > bestCount || (c == bestCount && lab < best) {
 					best, bestCount = lab, c

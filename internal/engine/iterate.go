@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"slices"
+
 	"gxplug/internal/graph"
 	"gxplug/internal/gxplug"
 	"gxplug/internal/gxplug/synccache"
@@ -239,18 +241,23 @@ func (r *runner) syncPhase(vol [][]int64) {
 
 // buildQueryQueue collects the vertices each node reads next iteration
 // but does not master: mirror sources under vertex-cut. (Under edge-cut
-// the queue is empty — influence flows through messages alone.)
+// the queue is empty — influence flows through messages alone.) The IDs
+// are pushed in sorted order so the queue's contents never depend on
+// map iteration order.
 func (r *runner) buildQueryQueue() *synccache.QueryQueue {
 	q := synccache.NewQueryQueue()
 	genAll := r.alg.Hints().GenAll
+	ids := make([]graph.VertexID, 0, len(r.mirrors))
 	for id, nodes := range r.mirrors {
 		if len(nodes) == 0 {
 			continue
 		}
 		if genAll || r.active[id] {
-			q.Push([]graph.VertexID{id})
+			ids = append(ids, id)
 		}
 	}
+	slices.Sort(ids)
+	q.Push(ids)
 	return q
 }
 

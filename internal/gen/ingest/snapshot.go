@@ -500,6 +500,7 @@ func readFloat64s(r io.Reader, count int64, scratch []byte, sized bool) ([]float
 // already verified against the container, one chunk's worth otherwise.
 func makeSection[T int64 | float64 | graph.VertexID](count, per int64, sized bool) []T {
 	if sized {
+		//gxlint:unsized sized is only set after the container's byte size was checked against SnapshotSize of the header's counts (loadSnapshotFile)
 		return make([]T, count)
 	}
 	return make([]T, 0, min(count, per))

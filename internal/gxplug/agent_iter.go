@@ -62,6 +62,7 @@ func (a *Agent) RequestGen(active func(graph.VertexID) bool) (*GenResult, error)
 	res.Entities = d
 	a.stats.Entities += int64(d)
 	if d == 0 {
+		//gxlint:uncharged an iteration with no active edges ships no blocks and costs nothing
 		return res, nil
 	}
 
@@ -449,6 +450,7 @@ func (a *Agent) RequestMerge(res *GenResult, incoming *Inbox) error {
 		return ErrNotConnected
 	}
 	if incoming == nil || incoming.Len() == 0 {
+		//gxlint:uncharged an empty inbox fetches and merges nothing
 		return nil
 	}
 	if incoming.Rows() != len(a.part.Masters) {
@@ -530,6 +532,7 @@ func (a *Agent) RequestApply(res *GenResult) (*ApplyResult, error) {
 	// the next RequestApply on this agent.
 	out := &ApplyResult{Changed: changed, Wrote: wrote, LocalOnly: true}
 	if len(sel) == 0 {
+		//gxlint:uncharged no masters selected: nothing is encoded, shipped, or applied
 		return out, nil
 	}
 
@@ -675,10 +678,12 @@ func (a *Agent) RequestApply(res *GenResult) (*ApplyResult, error) {
 // Fig 11a statistics are built from nor promote entries in the LRU order.
 func (a *Agent) UploadQueried(q *synccache.QueryQueue) int {
 	if a.cache == nil {
-		return 0 // without caching everything was pushed eagerly
+		//gxlint:uncharged without caching every row was already pushed (and charged) eagerly at apply time
+		return 0
 	}
 	need := q.Filter(a.cache.Dirty())
 	if len(need) == 0 {
+		//gxlint:uncharged nothing this node owns is both dirty and queried: no upload happens
 		return 0
 	}
 	aw := a.alg.AttrWidth()
@@ -694,6 +699,7 @@ func (a *Agent) UploadQueried(q *synccache.QueryQueue) int {
 		a.cache.MarkClean(id)
 	}
 	if len(ids) == 0 {
+		//gxlint:uncharged every queried row was evicted since Dirty(): its upload travels — and is charged — on the spill path
 		return 0
 	}
 	cost := a.upper.PushAttrs(ids, rows)
@@ -709,6 +715,7 @@ func (a *Agent) UploadQueried(q *synccache.QueryQueue) int {
 // charges.
 func (a *Agent) Flush() time.Duration {
 	if a.cache == nil {
+		//gxlint:uncharged without a cache there is nothing dirty to flush
 		return 0
 	}
 	var cost time.Duration

@@ -64,6 +64,8 @@ func (e *InjectedFaultError) Unwrap() error { return e.Err }
 // The agent's IPC handles stay valid — Disconnect still tears down
 // cleanly — but every subsequent request on the agent surfaces as an
 // InjectedFaultError of kind FaultDaemonCrash.
+//
+//gxlint:uncharged the crash models instant death; its cost surfaces as the failed requests that follow, which charge on their own paths
 func (a *Agent) CrashDaemon(di int) {
 	if !a.connected || len(a.daemons) == 0 {
 		return
@@ -84,6 +86,8 @@ func (a *Agent) CrashDaemon(di int) {
 // requests each consume one stall, charging the deterministic
 // timeout+backoff schedule to the node's virtual clock. Arming more
 // than maxStallRetries makes the request give up and fail.
+//
+//gxlint:uncharged arming is free: requestDaemon charges the stall schedule when the fault fires
 func (a *Agent) InjectStall(count int) {
 	if count < 1 {
 		count = 1
@@ -94,6 +98,8 @@ func (a *Agent) InjectStall(count int) {
 // InjectOOM arms a device out-of-memory fault: the next RequestGen
 // attempts an allocation beyond the device's capacity and surfaces the
 // resulting device.ErrOutOfMemory as an InjectedFaultError.
+//
+//gxlint:uncharged arming is free: fireOOM consumes the fault inside the next RequestGen, which fails with the injected error
 func (a *Agent) InjectOOM() { a.oomPending = true }
 
 // requestDaemon is the agent-side request path with fault semantics:
@@ -141,6 +147,7 @@ func (a *Agent) fireOOM() error {
 // time bit-identical to the uninterrupted run's.
 func (a *Agent) CheckpointSync() {
 	if !a.connected {
+		//gxlint:uncharged a disconnected agent has no dirty state to synchronize
 		return
 	}
 	a.charge(a.Flush())

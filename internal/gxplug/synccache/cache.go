@@ -13,8 +13,10 @@
 package synccache
 
 import (
+	"cmp"
 	"container/list"
 	"fmt"
+	"slices"
 
 	"gxplug/internal/graph"
 )
@@ -201,9 +203,12 @@ func (c *Cache) Invalidate(id graph.VertexID) (droppedDirty bool) {
 	return e.dirty
 }
 
-// Dirty returns the IDs of all dirty entries, in no particular order.
+// Dirty returns the IDs of all dirty entries in ascending ID order.
 // This is the agent's contribution to lazy uploading: dirty entries are
-// uploaded only when queried (or at flush).
+// uploaded only when queried (or at flush). The order is fixed so that
+// everything downstream — the filter against the query queue, the
+// upload batch, the boundary traffic it charges — is independent of
+// map iteration order.
 func (c *Cache) Dirty() []graph.VertexID {
 	var out []graph.VertexID
 	for id, e := range c.m {
@@ -211,6 +216,7 @@ func (c *Cache) Dirty() []graph.VertexID {
 			out = append(out, id)
 		}
 	}
+	slices.Sort(out)
 	return out
 }
 
@@ -221,9 +227,10 @@ func (c *Cache) MarkClean(id graph.VertexID) {
 	}
 }
 
-// FlushDirty returns all dirty entries and marks them clean — the
-// end-of-run upload that makes the upper system's state authoritative
-// again.
+// FlushDirty returns all dirty entries in ascending ID order and marks
+// them clean — the end-of-run upload that makes the upper system's
+// state authoritative again. Ordered for the same reason Dirty is: the
+// flush batch must not depend on map iteration order.
 func (c *Cache) FlushDirty() []Evicted {
 	var out []Evicted
 	for id, e := range c.m {
@@ -232,6 +239,7 @@ func (c *Cache) FlushDirty() []Evicted {
 			e.dirty = false
 		}
 	}
+	slices.SortFunc(out, func(a, b Evicted) int { return cmp.Compare(a.ID, b.ID) })
 	return out
 }
 

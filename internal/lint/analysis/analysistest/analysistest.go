@@ -1,0 +1,216 @@
+// Package analysistest runs an analysis.Analyzer over fixture packages
+// laid out GOPATH-style under a testdata/src directory and checks its
+// diagnostics against // want comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract closely enough
+// that fixtures would port unchanged.
+//
+// Expectation syntax: a comment on the line the diagnostic is reported
+// at, holding one quoted or backquoted regexp per expected diagnostic:
+//
+//	for k := range m { // want `non-deterministic iteration`
+//
+// Every diagnostic must match an expectation on its line and every
+// expectation must be matched by exactly one diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gxplug/internal/lint/analysis"
+)
+
+// Run loads each fixture package path under dir/src, applies the
+// analyzer, and reports any mismatch between diagnostics and // want
+// expectations as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgPaths {
+		runOne(t, ld, a, path)
+	}
+}
+
+func runOne(t *testing.T, ld *loader, a *analysis.Analyzer, path string) {
+	t.Helper()
+	pkg, err := ld.load(path)
+	if err != nil {
+		t.Errorf("%s: loading fixture: %v", path, err)
+		return
+	}
+	diags, err := analysis.Analyze(ld.fset, pkg.files, path, "", ld, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Errorf("%s: %v", path, err)
+		return
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*expectation)
+	for _, f := range pkg.files {
+		filename := ld.fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, exp := range parseExpectations(t, c.Text) {
+					k := key{filename, ld.fset.Position(c.Pos()).Line}
+					wants[k] = append(wants[k], exp)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for _, exp := range wants[k] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, exp.re)
+			}
+		}
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func parseExpectations(t *testing.T, comment string) []*expectation {
+	t.Helper()
+	text, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(comment, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	var exps []*expectation
+	for _, m := range wantRe.FindAllString(text, -1) {
+		pat := m
+		if strings.HasPrefix(pat, "\"") {
+			var err error
+			pat, err = strconv.Unquote(pat)
+			if err != nil {
+				t.Fatalf("bad want pattern %s: %v", m, err)
+			}
+		} else {
+			pat = strings.Trim(pat, "`")
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("bad want regexp %q: %v", pat, err)
+		}
+		exps = append(exps, &expectation{re: re})
+	}
+	return exps
+}
+
+// loader type-checks fixture packages, resolving imports first against
+// sibling fixture directories and then against the standard library
+// (compiled from GOROOT source, so no export data is required).
+type loader struct {
+	root string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*fixturePkg
+}
+
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root: root,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*fixturePkg),
+	}
+}
+
+// Import implements types.Importer for fixture-to-fixture imports.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(path string) (*fixturePkg, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return p, nil
+	}
+	ld.pkgs[path] = nil // cycle guard
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no fixture sources in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	p := &fixturePkg{pkg: pkg, files: files}
+	ld.pkgs[path] = p
+	return p, nil
+}

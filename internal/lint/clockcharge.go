@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"gxplug/internal/lint/analysis"
+)
+
+// ClockChargeAnalyzer enforces the middleware costing discipline from
+// the stall-recovery work: simulated time only stays deterministic if
+// every exported fault/retry/transfer entry point on the gxplug Agent
+// accounts its work to a virtual-clock bucket on every path — either by
+// calling charge/Charge before returning, or by returning the cost as a
+// time.Duration for the caller to charge. An early return that skips
+// the charge makes a fault or retry free, which silently changes the
+// makespan of every run that hits it.
+//
+// Entry points are the exported Agent methods named Request*, Inject*,
+// Crash*, Flush, CheckpointSync, and UploadQueried. Returns that
+// surface a non-nil error are exempt: a failed request aborts the
+// simulated run, and injected faults charge their cost inside the
+// fault machinery (the stall schedule, fireOOM) before the error
+// propagates. Other paths that are deliberately free (zero-work
+// early-outs, pure arming of a fault consumed — and charged — later)
+// carry //gxlint:uncharged <reason> on the return statement, or on the
+// method declaration when the whole entry point is free by design.
+var ClockChargeAnalyzer = &analysis.Analyzer{
+	Name: "clockcharge",
+	Doc:  "require exported gxplug middleware entry points to charge a virtual-clock bucket on every return path",
+	Run:  runClockCharge,
+}
+
+var entryPointName = regexp.MustCompile(`^(Request|Inject|Crash)|^(Flush|CheckpointSync|UploadQueried)$`)
+
+func runClockCharge(pass *analysis.Pass) error {
+	if !clockChargeExact(pass.Path) {
+		return nil
+	}
+	dirs := indexDirectives(pass)
+	for _, f := range pass.Files {
+		if isTestFile(fileName(pass, f)) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || !entryPointName.MatchString(fd.Name.Name) {
+				continue
+			}
+			if recvTypeName(fd) != "Agent" {
+				continue
+			}
+			cc := &chargeCheck{pass: pass, dirs: dirs, fd: fd}
+			charged, terminated := cc.scanList(fd.Body.List, false)
+			if !terminated && !charged && !dirs.suppressed("uncharged", fd.Body.Rbrace) {
+				pass.Reportf(fd.Body.Rbrace, "middleware entry point %s falls off the end without charging a virtual-clock bucket: call charge, return the cost as a time.Duration, or annotate with //gxlint:uncharged <reason>", fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if s, ok := t.(*ast.StarExpr); ok {
+		t = s.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// chargeCheck walks an entry point's body tracking, per path, whether a
+// virtual-clock charge has happened yet (a lexical approximation of
+// dominance: branches merge with AND, loops may run zero times).
+type chargeCheck struct {
+	pass *analysis.Pass
+	dirs *directiveIndex
+	fd   *ast.FuncDecl
+}
+
+// scanList folds scanStmt over a statement list. It returns the charged
+// state after the list and whether the list unconditionally terminates
+// (returns/panics on every path).
+func (cc *chargeCheck) scanList(list []ast.Stmt, charged bool) (bool, bool) {
+	for _, s := range list {
+		var term bool
+		charged, term = cc.scanStmt(s, charged)
+		if term {
+			return charged, true
+		}
+	}
+	return charged, false
+}
+
+func (cc *chargeCheck) scanStmt(s ast.Stmt, charged bool) (bool, bool) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		if !charged && !cc.returnsCost(s) && !cc.returnsError(s) && !cc.dirs.suppressed("uncharged", s.Pos()) {
+			cc.pass.Reportf(s.Pos(), "middleware entry point %s returns without charging a virtual-clock bucket on this path: call charge, return the cost as a time.Duration, or annotate with //gxlint:uncharged <reason>", cc.fd.Name.Name)
+		}
+		return charged, true
+	case *ast.BlockStmt:
+		return cc.scanList(s.List, charged)
+	case *ast.IfStmt:
+		c0 := charged
+		if s.Init != nil {
+			c0, _ = cc.scanStmt(s.Init, c0)
+		}
+		if chargesIn(cc.pass, s.Cond) {
+			c0 = true
+		}
+		cb, tb := cc.scanList(s.Body.List, c0)
+		ce, te := c0, false
+		if s.Else != nil {
+			ce, te = cc.scanStmt(s.Else, c0)
+		}
+		switch {
+		case tb && te:
+			return true, true
+		case tb:
+			return ce, false
+		case te:
+			return cb, false
+		default:
+			return cb && ce, false
+		}
+	case *ast.ForStmt:
+		c0 := charged
+		if s.Init != nil {
+			c0, _ = cc.scanStmt(s.Init, c0)
+		}
+		if s.Cond != nil && chargesIn(cc.pass, s.Cond) {
+			c0 = true
+		}
+		cc.scanList(s.Body.List, c0) // body may run zero times
+		return c0, false
+	case *ast.RangeStmt:
+		cc.scanList(s.Body.List, charged)
+		return charged, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		allTerm := true
+		hasDefault := false
+		eachClauseBody(s, func(isDefault bool, body []ast.Stmt) {
+			if isDefault {
+				hasDefault = true
+			}
+			_, t := cc.scanList(body, charged)
+			allTerm = allTerm && t
+		})
+		if hasDefault && allTerm {
+			return true, true
+		}
+		return charged, false
+	case *ast.LabeledStmt:
+		return cc.scanStmt(s.Stmt, charged)
+	case *ast.ExprStmt:
+		if isPanicCall(s.X) {
+			return charged, true
+		}
+		return charged || chargesIn(cc.pass, s.X), false
+	case *ast.DeferStmt:
+		// A deferred charge runs on every subsequent return.
+		return charged || chargesIn(cc.pass, s.Call), false
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.GoStmt, *ast.SendStmt:
+		return charged || chargesIn(cc.pass, s), false
+	case *ast.BranchStmt:
+		return charged, true // leaves this statement list
+	}
+	return charged, false
+}
+
+// returnsCost reports whether the return statement hands a non-constant
+// (or constant non-zero) time.Duration back to the caller — the
+// cost-returning half of the charging discipline.
+func (cc *chargeCheck) returnsCost(ret *ast.ReturnStmt) bool {
+	for _, r := range ret.Results {
+		t := cc.pass.TypesInfo.TypeOf(r)
+		if t == nil || !isDurationType(t) {
+			continue
+		}
+		if tv, ok := cc.pass.TypesInfo.Types[r]; ok && tv.Value != nil {
+			continue // a constant duration (e.g. 0) charges nothing real
+		}
+		return true
+	}
+	return false
+}
+
+// returnsError reports whether the return's last result is a non-nil
+// error value. Error paths abort the simulated run; their cost, if
+// any, was charged by the fault machinery that produced the error.
+// (Lexical approximation: an error-typed variable that happens to hold
+// nil at runtime still counts — the discipline targets the common
+// `return nil` / `return res, nil` success paths.)
+func (cc *chargeCheck) returnsError(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	tv, ok := cc.pass.TypesInfo.Types[ret.Results[len(ret.Results)-1]]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	return types.Implements(tv.Type, errorInterface)
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isDurationType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+// chargesIn reports whether the node contains a call of a function or
+// method named charge/Charge, outside any nested function literal.
+func chargesIn(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if name == "charge" || name == "Charge" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// eachClauseBody visits the body of every case/comm clause of a
+// switch/type-switch/select statement.
+func eachClauseBody(s ast.Stmt, fn func(isDefault bool, body []ast.Stmt)) {
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	for _, c := range clauses {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			fn(c.List == nil, c.Body)
+		case *ast.CommClause:
+			fn(c.Comm == nil, c.Body)
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gxplug/internal/lint/analysis"
+)
+
+// DeterminismAnalyzer enforces the repository's central guarantee — a
+// scenario's results and virtual makespan are a pure function of the
+// scenario — at the source level, in the packages that execute inside
+// the simulated world:
+//
+//   - no wall clocks: time.Now/time.Since read host time, which must
+//     never influence a simulated path (virtual time comes from
+//     simtime.Clock);
+//   - no global randomness: math/rand's top-level functions draw from
+//     the process-global, unseeded source, so two runs of the same
+//     scenario diverge (use a seeded *rand.Rand);
+//   - no map-order leaks: ranging over a map visits keys in a random
+//     order, so a loop body that does order-sensitive work (calls,
+//     float accumulation, writes into shared buffers) makes results
+//     machine- and run-dependent. Collect and sort the keys first, or
+//     prove the body order-insensitive.
+//
+// Suppress with //gxlint:wallclock <reason> (clock/randomness) or
+// //gxlint:ordered <reason> (map ranges) on the offending statement.
+var DeterminismAnalyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall clocks, global randomness, and map-iteration-order leaks in simulated paths",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) error {
+	if !pkgMatch(pass.Path, determinismTargets) {
+		return nil
+	}
+	dirs := indexDirectives(pass)
+	for _, f := range pass.Files {
+		if isTestFile(fileName(pass, f)) {
+			continue
+		}
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallClock(pass, dirs, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, dirs, n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWallClock(pass *analysis.Pass, dirs *directiveIndex, call *ast.CallExpr) {
+	for _, name := range []string{"Now", "Since"} {
+		if isPkgLevelCall(pass, call, "time", name) {
+			if !dirs.suppressed("wallclock", call.Pos()) {
+				pass.Reportf(call.Pos(), "call of time.%s in a simulated path: virtual time comes from simtime.Clock, never the host clock (//gxlint:wallclock <reason> to suppress)", name)
+			}
+			return
+		}
+	}
+	obj := calleeObj(pass, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods on an explicitly seeded *rand.Rand are fine
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewChaCha8", "NewPCG", "NewZipf":
+		return // constructors build the seeded source the rule asks for
+	}
+	if !dirs.suppressed("wallclock", call.Pos()) {
+		pass.Reportf(call.Pos(), "call of global %s.%s draws from the process-wide random source: simulated paths must use a scenario-seeded *rand.Rand (//gxlint:wallclock <reason> to suppress)", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// checkMapRange flags ranges over maps whose body is not provably
+// order-insensitive.
+func checkMapRange(pass *analysis.Pass, dirs *directiveIndex, rs *ast.RangeStmt, stack []ast.Node) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if dirs.suppressed("ordered", rs.Pos()) {
+		return
+	}
+	lc := newLoopCheck(pass, rs)
+	if bad, why := lc.check(); bad != nil {
+		pass.Reportf(rs.Pos(), "non-deterministic iteration over map %s: %s; collect and sort the keys first or annotate with //gxlint:ordered <reason>", types.ExprString(rs.X), why)
+		return
+	}
+	// Keys/values appended into outer slices must be sorted before the
+	// enclosing function is done with them, or the map order escaped
+	// into the slice.
+	_, body := enclosingFunc(stack)
+	for obj, id := range lc.appended {
+		if body == nil || !sortedAfter(pass, body, rs, obj) {
+			pass.Reportf(rs.Pos(), "non-deterministic iteration over map %s: %s collects keys in map order and is never sorted in this function; sort it or annotate with //gxlint:ordered <reason>", types.ExprString(rs.X), id.Name)
+		}
+	}
+}
+
+// loopCheck classifies a map-range body as order-insensitive or not.
+// The allowed vocabulary is exactly the set of operations whose final
+// effect is independent of visit order:
+//
+//   - declarations of and writes to loop-local variables (fresh every
+//     iteration);
+//   - keyed writes (m2[expr] = v): each key written at most once per
+//     distinct map entry;
+//   - exactly-commutative accumulation (++/--/+=/... on integer-like
+//     types; floating-point addition is not associative, so float
+//     accumulators leak order into low bits);
+//   - append of loop values into an outer slice, provided the slice is
+//     later sorted (checked by the caller);
+//   - delete on a map with call-free arguments;
+//   - if/for/range/block structure over the above with call-free
+//     conditions, continue/break, and returns of loop-independent
+//     call-free values (any-match early exit).
+//
+// Everything else — method and function calls above all — is assumed
+// order-sensitive.
+type loopCheck struct {
+	pass     *analysis.Pass
+	rs       *ast.RangeStmt
+	loopVars map[types.Object]bool // range key/value + body-local variables
+	appended map[types.Object]*ast.Ident
+	bad      ast.Node
+	why      string
+}
+
+func newLoopCheck(pass *analysis.Pass, rs *ast.RangeStmt) *loopCheck {
+	lc := &loopCheck{
+		pass:     pass,
+		rs:       rs,
+		loopVars: make(map[types.Object]bool),
+		appended: make(map[types.Object]*ast.Ident),
+	}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				lc.loopVars[obj] = true
+			}
+		}
+	}
+	return lc
+}
+
+func (lc *loopCheck) check() (ast.Node, string) {
+	lc.stmts(lc.rs.Body.List)
+	return lc.bad, lc.why
+}
+
+func (lc *loopCheck) fail(n ast.Node, why string) bool {
+	if lc.bad == nil {
+		lc.bad, lc.why = n, why
+	}
+	return false
+}
+
+func (lc *loopCheck) stmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if !lc.stmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (lc *loopCheck) stmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return lc.assign(s)
+	case *ast.IncDecStmt:
+		return lc.write(s.X, nil, token.ADD_ASSIGN, s)
+	case *ast.DeclStmt:
+		gen, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gen.Tok != token.VAR && gen.Tok != token.CONST {
+			return lc.fail(s, "declaration with order-sensitive effects")
+		}
+		for _, spec := range gen.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return lc.fail(s, "declaration with order-sensitive effects")
+			}
+			for _, id := range vs.Names {
+				if obj := lc.pass.TypesInfo.Defs[id]; obj != nil {
+					lc.loopVars[obj] = true
+				}
+			}
+			for _, v := range vs.Values {
+				if !callFree(lc.pass, v) {
+					return lc.fail(v, "a call in a local declaration may observe iteration order")
+				}
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil && !lc.stmt(s.Init) {
+			return false
+		}
+		if !callFree(lc.pass, s.Cond) {
+			return lc.fail(s.Cond, "a call in the loop condition may observe iteration order")
+		}
+		if !lc.stmts(s.Body.List) {
+			return false
+		}
+		if s.Else != nil {
+			return lc.stmt(s.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return lc.stmts(s.List)
+	case *ast.ForStmt:
+		for _, sub := range []ast.Stmt{s.Init, s.Post} {
+			if sub != nil && !lc.stmt(sub) {
+				return false
+			}
+		}
+		if s.Cond != nil && !callFree(lc.pass, s.Cond) {
+			return lc.fail(s.Cond, "a call in a nested loop condition may observe iteration order")
+		}
+		return lc.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		if !callFree(lc.pass, s.X) {
+			return lc.fail(s.X, "a call producing a nested range operand may observe iteration order")
+		}
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := lc.pass.TypesInfo.Defs[id]; obj != nil {
+					lc.loopVars[obj] = true
+				}
+			}
+		}
+		return lc.stmts(s.Body.List)
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE || s.Tok == token.BREAK {
+			return true
+		}
+		return lc.fail(s, "goto leaves the loop body in iteration order")
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if ok && builtinName(lc.pass, call) == "delete" {
+			for _, arg := range call.Args {
+				if !callFree(lc.pass, arg) {
+					return lc.fail(arg, "a call in delete's arguments may observe iteration order")
+				}
+			}
+			return true
+		}
+		return lc.fail(s, "the body performs a call, whose effects are assumed order-sensitive")
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if !callFree(lc.pass, r) {
+				return lc.fail(r, "a call in a return value may observe iteration order")
+			}
+			if refersTo(lc.pass, r, lc.loopVars) {
+				return lc.fail(r, "returning a loop variable exposes which key was visited first")
+			}
+		}
+		return true
+	case *ast.EmptyStmt:
+		return true
+	}
+	return lc.fail(s, "statement kind with order-sensitive effects")
+}
+
+func (lc *loopCheck) assign(s *ast.AssignStmt) bool {
+	if s.Tok == token.DEFINE {
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if obj := lc.pass.TypesInfo.Defs[id]; obj != nil {
+					lc.loopVars[obj] = true
+				}
+			}
+		}
+	}
+	// Pair each LHS with its RHS where the shapes line up (the common
+	// cases: 1:1, and v, ok := m[k] with one RHS).
+	for i, l := range s.Lhs {
+		var r ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			r = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			r = s.Rhs[0]
+		}
+		if !lc.write(l, r, s.Tok, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// write validates one store l <tok>= r inside the loop body.
+func (lc *loopCheck) write(l, r ast.Expr, tok token.Token, at ast.Stmt) bool {
+	l = ast.Unparen(l)
+	// Blank and loop-local targets are always fine as long as the RHS
+	// performs no calls.
+	if id, ok := l.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return true
+		}
+		obj := lc.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = lc.pass.TypesInfo.Uses[id]
+		}
+		if obj != nil && lc.loopVars[obj] {
+			return lc.rhsOK(r, at)
+		}
+		// Outer variable.
+		if call, ok := appendCallTo(lc.pass, r, obj); ok {
+			for _, arg := range call.Args[1:] {
+				if !callFree(lc.pass, arg) {
+					return lc.fail(arg, "a call in append's arguments may observe iteration order")
+				}
+			}
+			lc.appended[obj] = id
+			return true
+		}
+		return lc.scalarWrite(l, r, tok, at, obj)
+	}
+	// Keyed writes: m2[k] = v, s[i] = v, s[i] += n.
+	if ix, ok := l.(*ast.IndexExpr); ok {
+		if !callFree(lc.pass, ix.X) || !callFree(lc.pass, ix.Index) {
+			return lc.fail(ix, "a call computing the write target may observe iteration order")
+		}
+		if tok == token.ASSIGN {
+			if _, isAppend := appendCallTo(lc.pass, r, nil); isAppend {
+				return lc.fail(at, "appending to a shared element accumulates in map-iteration order")
+			}
+			return lc.rhsOK(r, at)
+		}
+		return lc.commutative(l, r, at)
+	}
+	// Writes through a loop-local pointer (e.g. e.dirty = false where e
+	// is the range value) touch each entry independently of order.
+	if base := baseIdent(l); base != nil {
+		obj := lc.pass.TypesInfo.Uses[base]
+		if obj != nil && lc.loopVars[obj] {
+			return lc.rhsOK(r, at)
+		}
+		if tok == token.ASSIGN {
+			if !lc.rhsOK(r, at) {
+				return false
+			}
+			if refersTo(lc.pass, r, lc.loopVars) {
+				return lc.fail(at, "the last map entry visited wins this write, so the result depends on iteration order")
+			}
+			return true
+		}
+		return lc.commutative(l, r, at)
+	}
+	return lc.fail(at, "write target too complex to prove order-insensitive")
+}
+
+// scalarWrite validates a store to an outer scalar variable.
+func (lc *loopCheck) scalarWrite(l, r ast.Expr, tok token.Token, at ast.Stmt, obj types.Object) bool {
+	switch tok {
+	case token.ASSIGN, token.DEFINE:
+		if !lc.rhsOK(r, at) {
+			return false
+		}
+		if refersTo(lc.pass, r, lc.loopVars) {
+			return lc.fail(at, "the last map entry visited wins this write, so the result depends on iteration order")
+		}
+		return true
+	default:
+		return lc.commutative(l, r, at)
+	}
+}
+
+// commutative validates an accumulating store (+=, ++, |=, ...): exact
+// for integer-like types, order-sensitive for floats (non-associative
+// addition) and everything else.
+func (lc *loopCheck) commutative(l, r ast.Expr, at ast.Stmt) bool {
+	if r != nil && !lc.rhsOK(r, at) {
+		return false
+	}
+	if !intLike(lc.pass.TypesInfo.TypeOf(l)) {
+		return lc.fail(at, "accumulating a non-integer (float addition is not associative, so the low bits depend on iteration order)")
+	}
+	return true
+}
+
+func (lc *loopCheck) rhsOK(r ast.Expr, at ast.Stmt) bool {
+	if r == nil {
+		return true
+	}
+	if !callFree(lc.pass, r) {
+		return lc.fail(r, "the body performs a call, whose effects are assumed order-sensitive")
+	}
+	return true
+}
+
+// appendCallTo reports whether e is append(target, ...) growing the
+// slice named by obj (any slice if obj is nil).
+func appendCallTo(pass *analysis.Pass, e ast.Expr, obj types.Object) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || builtinName(pass, call) != "append" || len(call.Args) == 0 {
+		return nil, false
+	}
+	if obj == nil {
+		return call, true
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != obj {
+		return nil, false
+	}
+	return call, true
+}
+
+// baseIdent digs to the identifier at the base of a selector/index/
+// star chain, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether some sort.* or slices.Sort* call after
+// the range statement, inside the same function body, takes the
+// collected slice as an argument.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !posAfter(call.Pos(), rs) {
+			return true
+		}
+		fn, ok := calleeObj(pass, call).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return true
+	})
+	return found
+}

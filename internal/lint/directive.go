@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"gxplug/internal/lint/analysis"
+)
+
+// Suppression directives. A directive is a comment of the form
+//
+//	//gxlint:<name> <reason>
+//
+// attached to the statement it suppresses: trailing on the statement's
+// first line, or alone on the line above it. The reason is mandatory —
+// a bare directive suppresses nothing and is itself reported by the
+// directive analyzer — because a suppression without a recorded
+// justification is exactly the tribal knowledge this suite exists to
+// eliminate.
+const directivePrefix = "//gxlint:"
+
+// directiveNames maps each directive to the analyzer that honors it.
+var directiveNames = map[string]string{
+	"ordered":   "determinism", // map iteration order provably does not reach results
+	"wallclock": "determinism", // wall-clock/global-randomness read outside the simulated world
+	"nilgated":  "nilgate",     // observer value is proven non-nil by construction
+	"unsized":   "wiresize",    // allocation size is bounded by other means
+	"uncharged": "clockcharge", // entry point is deliberately free on this path
+}
+
+// A directive is one parsed //gxlint: comment plus the source range of
+// the node it annotates.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Pos
+	// start/end bound the annotated node; a finding inside the range is
+	// suppressed. NoPos bounds mean the comment dangles (annotates
+	// nothing) and suppresses nothing.
+	start, end token.Pos
+}
+
+// directiveIndex holds every directive in a package, for suppression
+// lookups by the analyzers.
+type directiveIndex struct {
+	dirs []directive
+}
+
+// indexDirectives parses all //gxlint: comments in the pass's files,
+// resolving each to the node it annotates via the file's comment map.
+func indexDirectives(pass *analysis.Pass) *directiveIndex {
+	ix := &directiveIndex{}
+	for _, f := range pass.Files {
+		cmap := ast.NewCommentMap(pass.Fset, f, f.Comments)
+		// Invert: comment group -> smallest annotated node. A group can
+		// be associated with several nodes (e.g. a statement and its
+		// enclosing declaration); the smallest keeps suppression tight.
+		owner := make(map[*ast.CommentGroup]ast.Node)
+		for node, groups := range cmap {
+			for _, g := range groups {
+				if cur, ok := owner[g]; !ok || nodeSpan(node) < nodeSpan(cur) {
+					owner[g] = node
+				}
+			}
+		}
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				name, reason, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				d := directive{name: name, reason: reason, pos: c.Pos()}
+				if node, ok := owner[g]; ok {
+					d.start, d.end = node.Pos(), node.End()
+				}
+				ix.dirs = append(ix.dirs, d)
+			}
+		}
+	}
+	return ix
+}
+
+func nodeSpan(n ast.Node) token.Pos {
+	return n.End() - n.Pos()
+}
+
+// parseDirective splits "//gxlint:name reason..." into its parts.
+// Block-comment form (/*gxlint:name reason*/) is accepted too.
+func parseDirective(text string) (name, reason string, ok bool) {
+	var rest string
+	switch {
+	case strings.HasPrefix(text, directivePrefix):
+		rest = text[len(directivePrefix):]
+	case strings.HasPrefix(text, "/*gxlint:"):
+		rest = strings.TrimSuffix(text[len("/*gxlint:"):], "*/")
+	default:
+		return "", "", false
+	}
+	name, reason, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(name), strings.TrimSpace(reason), true
+}
+
+// suppressed reports whether a finding at pos is covered by a directive
+// of the given name. Directives without a reason never suppress.
+func (ix *directiveIndex) suppressed(name string, pos token.Pos) bool {
+	for _, d := range ix.dirs {
+		if d.name == name && d.reason != "" && d.start.IsValid() && d.start <= pos && pos < d.end {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveAnalyzer validates the suppression comments themselves: a
+// //gxlint: directive must name a known check and carry a reason. It
+// runs on every package (including tests) so a bare suppression can
+// never land anywhere in the tree.
+var DirectiveAnalyzer = &analysis.Analyzer{
+	Name: "directive",
+	Doc:  "check that //gxlint: suppressions name a known check and carry a reason",
+	Run:  runDirective,
+}
+
+func runDirective(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				name, reason, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				if _, known := directiveNames[name]; !known {
+					pass.Reportf(c.Pos(), "unknown gxlint directive %q (known: ordered, wallclock, nilgated, unsized, uncharged)", name)
+					continue
+				}
+				if reason == "" {
+					pass.Reportf(c.Pos(), "gxlint:%s directive needs a reason: //gxlint:%s <why this is safe>", name, name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gxplug/internal/lint/analysis"
+)
+
+// NilGateAnalyzer enforces the observer contract: an engine.Observer is
+// an optional hook, and the zero-allocation benchmarks only hold
+// because every invocation — and all the report-building work feeding
+// it — is gated on the observer being non-nil. An unguarded call turns
+// a nil observer into a panic and an always-on observer into an
+// allocation regression, so every call of an Observer-typed value must
+// be dominated by a nil check of that same value.
+//
+// Recognized guards (syntactic domination — the call must sit in code
+// only reachable when the observer is non-nil):
+//
+//	if obs != nil { obs(info) }
+//	if obs == nil { return }; ...; obs(info)
+//	observing := obs != nil; if observing { obs(info) }
+//
+// Suppress with //gxlint:nilgated <reason> when non-nilness is
+// established elsewhere by construction.
+var NilGateAnalyzer = &analysis.Analyzer{
+	Name: "nilgate",
+	Doc:  "require every call of an engine.Observer value to be dominated by a nil check",
+	Run:  runNilGate,
+}
+
+func runNilGate(pass *analysis.Pass) error {
+	dirs := indexDirectives(pass)
+	for _, f := range pass.Files {
+		if isTestFile(fileName(pass, f)) {
+			continue
+		}
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isObserverType(pass.TypesInfo.TypeOf(call.Fun)) {
+				return true
+			}
+			if isConversion(pass, call) {
+				return true // Observer(fn) builds one, it doesn't call one
+			}
+			if nilGuarded(pass, call.Fun, call, stack) {
+				return true
+			}
+			if !dirs.suppressed("nilgated", call.Pos()) {
+				pass.Reportf(call.Pos(), "call of engine.Observer %s is not nil-gated: guard with `if %s != nil` so a nil observer stays free (//gxlint:nilgated <reason> to suppress)",
+					types.ExprString(call.Fun), types.ExprString(call.Fun))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObserverType reports whether t (or its alias target) is the named
+// type <...>/internal/engine.Observer.
+func isObserverType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != "Observer" || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "internal/engine" || strings.HasSuffix(p, "/internal/engine")
+}
+
+// nilGuarded reports whether the call of expr is dominated by a nil
+// check of the structurally identical expression.
+func nilGuarded(pass *analysis.Pass, expr ast.Expr, call *ast.CallExpr, stack []ast.Node) bool {
+	want := types.ExprString(ast.Unparen(expr))
+	_, body := enclosingFunc(stack)
+
+	// Walk outward: an enclosing if whose condition implies expr != nil
+	// (directly, via &&, or via a bool set from the comparison) guards
+	// everything in its body.
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		inBody := i+1 < len(stack) && stack[i+1] == ast.Node(ifs.Body)
+		inElse := i+1 < len(stack) && ifs.Else != nil && stack[i+1] == ast.Node(ifs.Else)
+		if inBody && condImpliesNonNil(pass, ifs.Cond, want, body, false) {
+			return true
+		}
+		if inElse && condImpliesNonNil(pass, ifs.Cond, want, body, true) {
+			return true
+		}
+	}
+
+	// Early exit: a preceding `if expr == nil { return }` in any block
+	// on the ancestor chain dominates the call.
+	for i := len(stack) - 1; i >= 0; i-- {
+		blk, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		// Statements before the one containing the call.
+		var before []ast.Stmt
+		for _, s := range blk.List {
+			if s.Pos() <= call.Pos() && call.Pos() < s.End() {
+				break
+			}
+			before = append(before, s)
+		}
+		for _, s := range before {
+			ifs, ok := s.(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			if isNilCompare(pass, ifs.Cond, want, token.EQL) && terminates(ifs.Body.List) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condImpliesNonNil reports whether cond being true (or false, when
+// negated is set — the else branch) implies want != nil.
+func condImpliesNonNil(pass *analysis.Pass, cond ast.Expr, want string, body *ast.BlockStmt, negated bool) bool {
+	cond = ast.Unparen(cond)
+	if !negated {
+		if isNilCompare(pass, cond, want, token.NEQ) {
+			return true
+		}
+		if b, ok := cond.(*ast.BinaryExpr); ok && b.Op == token.LAND {
+			return condImpliesNonNil(pass, b.X, want, body, false) ||
+				condImpliesNonNil(pass, b.Y, want, body, false)
+		}
+		// A boolean flag assigned from the comparison earlier in the
+		// function: observing := obs != nil.
+		if id, ok := cond.(*ast.Ident); ok && body != nil {
+			return flagFromNilCompare(pass, body, id, want)
+		}
+		return false
+	}
+	// else-branch: `if expr == nil { ... } else { call }`.
+	if isNilCompare(pass, cond, want, token.EQL) {
+		return true
+	}
+	return false
+}
+
+// isNilCompare reports whether cond is `want <op> nil` (either side).
+func isNilCompare(pass *analysis.Pass, cond ast.Expr, want string, op token.Token) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != op {
+		return false
+	}
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if isNilIdent(pass, y) {
+		return types.ExprString(x) == want
+	}
+	if isNilIdent(pass, x) {
+		return types.ExprString(y) == want
+	}
+	return false
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// flagFromNilCompare reports whether ident is a bool assigned exactly
+// once in body, from `want != nil`.
+func flagFromNilCompare(pass *analysis.Pass, body *ast.BlockStmt, id *ast.Ident, want string) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	assigns := 0
+	fromCompare := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, l := range as.Lhs {
+			lid, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lobj := pass.TypesInfo.Defs[lid]
+			if lobj == nil {
+				lobj = pass.TypesInfo.Uses[lid]
+			}
+			if lobj != obj {
+				continue
+			}
+			assigns++
+			if i < len(as.Rhs) {
+				fromCompare = isNilCompare(pass, as.Rhs[i], want, token.NEQ)
+			}
+		}
+		return true
+	})
+	return assigns == 1 && fromCompare
+}

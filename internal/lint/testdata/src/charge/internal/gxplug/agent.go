@@ -1,0 +1,170 @@
+// Package gxplug is the clockcharge fixture: exported Agent entry
+// points must charge a virtual-clock bucket on every return path.
+package gxplug
+
+import (
+	"errors"
+	"time"
+)
+
+var errCrashed = errors.New("crashed")
+
+type node struct{}
+
+func (n *node) Charge(d time.Duration) {}
+
+// Agent mirrors the real middleware agent's shape.
+type Agent struct {
+	node    *node
+	crashed bool
+	pending int
+}
+
+func (a *Agent) charge(d time.Duration) { a.node.Charge(d) }
+
+// Charging on the single path is fine.
+func (a *Agent) RequestPing() error {
+	a.charge(time.Millisecond)
+	return nil
+}
+
+// An early return that skips the charge is the regression this
+// analyzer exists for.
+func (a *Agent) RequestGen() error {
+	if a.crashed {
+		return nil // want `returns without charging a virtual-clock bucket`
+	}
+	a.charge(time.Millisecond)
+	return nil
+}
+
+// Charging in both branches covers the merged path.
+func (a *Agent) RequestMerge() error {
+	if a.pending > 0 {
+		a.charge(2 * time.Millisecond)
+	} else {
+		a.charge(time.Millisecond)
+	}
+	return nil
+}
+
+// Returning the cost as a time.Duration is the other half of the
+// discipline: the caller charges it.
+func (a *Agent) Flush() time.Duration {
+	var cost time.Duration
+	for i := 0; i < a.pending; i++ {
+		cost += time.Millisecond
+	}
+	return cost
+}
+
+// Surfacing a non-nil error is exempt: the run aborts, and whatever
+// the failure cost was charged inside the fault machinery.
+func (a *Agent) RequestFail() error {
+	if a.crashed {
+		return errCrashed
+	}
+	a.charge(time.Millisecond)
+	return nil
+}
+
+// A wrapped error on the success-shaped position counts too.
+func (a *Agent) RequestWrapped() (int, error) {
+	if a.crashed {
+		return 0, errCrashed
+	}
+	a.charge(time.Millisecond)
+	return a.pending, nil
+}
+
+// A constant zero duration charges nothing and does not count.
+func (a *Agent) RequestNothing() time.Duration {
+	return 0 // want `returns without charging a virtual-clock bucket`
+}
+
+// Falling off the end without charging is flagged too.
+func (a *Agent) InjectStall(count int) {
+	a.pending += count
+} // want `falls off the end without charging`
+
+// A whole entry point can be declared free on its declaration.
+//
+// the deterministic stall schedule
+//
+//gxlint:uncharged arming is free: the consuming request path charges
+func (a *Agent) InjectOOM() {
+	a.pending++
+}
+
+// A reasoned directive covers exactly the annotated return…
+func (a *Agent) CrashDaemon(di int) error {
+	if di < 0 {
+		//gxlint:uncharged fail-fast on an out-of-range daemon is free by design
+		return nil
+	}
+	if a.crashed {
+		return nil // want `returns without charging a virtual-clock bucket`
+	}
+	a.charge(time.Millisecond)
+	return nil
+}
+
+// …and a reasonless directive covers nothing.
+func (a *Agent) RequestApply() error {
+	if a.crashed {
+		//gxlint:uncharged
+		return nil // want `returns without charging a virtual-clock bucket`
+	}
+	a.charge(time.Millisecond)
+	return nil
+}
+
+// A switch whose every case charges (or errors) before returning,
+// with a default, terminates the function charged.
+func (a *Agent) RequestRouted(kind int) error {
+	switch kind {
+	case 0:
+		a.charge(time.Millisecond)
+		return nil
+	default:
+		a.charge(2 * time.Millisecond)
+		return nil
+	}
+}
+
+// Without a default the fall-through path reaches the final return
+// uncharged.
+func (a *Agent) RequestRoutedLeak(kind int) error {
+	switch kind {
+	case 0:
+		a.charge(time.Millisecond)
+		return nil
+	}
+	return nil // want `returns without charging a virtual-clock bucket`
+}
+
+// A deferred charge covers every subsequent return.
+func (a *Agent) RequestDeferred() error {
+	defer a.charge(time.Millisecond)
+	if a.crashed {
+		return nil
+	}
+	return nil
+}
+
+// Unexported helpers and non-entry-point methods are out of scope.
+func (a *Agent) Stats() int {
+	return a.pending
+}
+
+func (a *Agent) request() error {
+	return nil
+}
+
+// Entry-point-shaped methods on other receivers are out of scope:
+// only the Agent owns the charging discipline.
+type Prober struct{}
+
+func (p Prober) RequestProbe() error {
+	return nil
+}

@@ -1,0 +1,218 @@
+// Package engine is the determinism-analyzer fixture: it lives at a
+// path matching the real engine package so the analyzer targets it.
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func touch(int) {}
+
+// Wall clocks are forbidden in simulated paths.
+func wallClock() time.Duration {
+	t := time.Now()      // want `call of time\.Now in a simulated path`
+	return time.Since(t) // want `call of time\.Since in a simulated path`
+}
+
+// A justified exception is allowed on the annotated statement.
+func wallClockSuppressed() time.Time {
+	//gxlint:wallclock progress display only, never feeds results
+	return time.Now()
+}
+
+// The global rand source is forbidden; a seeded *rand.Rand is fine.
+func randomness(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	n := r.Intn(10)
+	n += rand.Intn(10) // want `global rand\.Intn`
+	return n
+}
+
+// Order-insensitive map-range bodies are allowed: keyed writes,
+// integer accumulation, deletes, and local work.
+func okBodies(m map[int]float64, other map[int]bool) (int, float64) {
+	count := 0
+	sum := 0.0
+	inverse := make(map[float64]int, len(m))
+	for k, v := range m {
+		count++
+		inverse[v] = k
+		scaled := v * 2
+		if scaled > 1 {
+			other[k] = true
+		}
+		delete(other, k+1)
+	}
+	for k := range other {
+		if other[k] {
+			return count, sum
+		}
+	}
+	return count, sum
+}
+
+// Collecting keys is allowed when they are sorted afterwards.
+func okCollectAndSort(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Calls in the body are assumed order-sensitive.
+func badCall(m map[int]int) {
+	for k := range m { // want `non-deterministic iteration over map m`
+		touch(k)
+	}
+}
+
+// Floating-point accumulation leaks iteration order into the low bits.
+func badFloatSum(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `non-deterministic iteration over map m`
+		sum += v
+	}
+	return sum
+}
+
+// Unsorted key collection leaks iteration order into the slice.
+func badUnsortedKeys(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want `keys collects keys in map order and is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Returning a loop variable exposes which entry was visited first.
+func badFirstKey(m map[int]int) int {
+	for k := range m { // want `non-deterministic iteration over map m`
+		return k
+	}
+	return -1
+}
+
+// A reasoned directive silences exactly the annotated loop…
+func suppressedLoop(m map[int]int) {
+	//gxlint:ordered touch is idempotent per key in this fixture
+	for k := range m {
+		touch(k)
+	}
+	// …and nothing else: the same shape right after is still flagged.
+	for k := range m { // want `non-deterministic iteration over map m`
+		touch(k)
+	}
+}
+
+// A directive with no reason suppresses nothing.
+func reasonlessDirective(m map[int]int) {
+	//gxlint:ordered
+	for k := range m { // want `non-deterministic iteration over map m`
+		touch(k)
+	}
+}
+
+type entry struct {
+	dirty bool
+	n     int
+}
+
+// Structured order-insensitive bodies: local declarations, nested
+// loops with call-free conditions, writes through the loop-local
+// range value, continue/break, and loop-independent returns.
+func okStructured(m map[int]*entry, flags []bool) (int, bool) {
+	hits := 0
+	for id, e := range m {
+		var bump int
+		const width = 2
+		bump = id % width
+		e.dirty = false
+		e.n += bump
+		for i := 0; i < 3; i++ {
+			hits += i
+		}
+		for j, f := range flags {
+			if f {
+				hits += j
+				continue
+			}
+			break
+		}
+		if bump == 0 {
+			return hits, true
+		}
+	}
+	return hits, false
+}
+
+// A switch is not in the allowed loop vocabulary: proving every case
+// order-insensitive is out of scope, so the loop is flagged.
+func badSwitch(m map[int]int) int {
+	n := 0
+	for k := range m { // want `non-deterministic iteration over map m`
+		switch k {
+		case 0:
+			n++
+		}
+	}
+	return n
+}
+
+// A declaration initialized from a call may observe iteration order.
+func badDeclCall(m map[int]int) {
+	for k := range m { // want `non-deterministic iteration over map m`
+		var v = pick(k)
+		_ = v
+	}
+}
+
+func pick(k int) int { return k }
+
+// Goto leaves the body in iteration order.
+func badGoto(m map[int]int) int {
+	n := 0
+	for range m { // want `non-deterministic iteration over map m`
+		goto out
+	}
+out:
+	return n
+}
+
+// A plain write to an outer scalar from a loop variable: the last
+// entry visited wins.
+func badLastWins(m map[int]int) int {
+	last := 0
+	for k := range m { // want `the last map entry visited wins this write`
+		last = k
+	}
+	return last
+}
+
+// Same shape through a field chain on an outer struct.
+func badFieldLastWins(m map[int]int, e *entry) {
+	for k := range m { // want `the last map entry visited wins this write`
+		e.n = k
+	}
+}
+
+// Appending to one shared element accumulates in visit order.
+func badSharedAppend(m map[int]int, buckets map[int][]int) {
+	for k, v := range m { // want `appending to a shared element accumulates in map-iteration order`
+		buckets[0] = append(buckets[0], k+v)
+	}
+}
+
+// Integer accumulation into an indexed element is exactly commutative;
+// float accumulation is not.
+func mixedIndexed(m map[int]float64, ints []int64, floats []float64) {
+	for k, v := range m {
+		ints[k%len(ints)] += int64(v)
+	}
+	for k, v := range m { // want `accumulating a non-integer`
+		floats[k%len(floats)] += v
+	}
+}

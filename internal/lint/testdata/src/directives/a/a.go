@@ -1,0 +1,21 @@
+// Package a exercises the directive analyzer: every //gxlint: comment
+// must name a known check and carry a reason.
+package a
+
+func wellFormed(m map[int]int) []int {
+	var keys []int
+	//gxlint:ordered keys feed a set union whose order is never observed
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func missingReason() {
+	_ = 0 /*gxlint:ordered*/   // want `gxlint:ordered directive needs a reason`
+	_ = 1 /*gxlint:uncharged*/ // want `gxlint:uncharged directive needs a reason`
+}
+
+func unknownName() {
+	_ = 2 /*gxlint:frobnicate because reasons*/ // want `unknown gxlint directive "frobnicate"`
+}

@@ -1,0 +1,80 @@
+// Package consumer exercises the nilgate analyzer: every call of an
+// engine.Observer value must be dominated by a nil check.
+package consumer
+
+import (
+	"nilgate/internal/engine"
+)
+
+type config struct {
+	Observer engine.Observer
+	enabled  bool
+}
+
+type runner struct {
+	cfg config
+}
+
+// Directly guarded calls are fine.
+func guarded(obs engine.Observer, info engine.SuperstepInfo) {
+	if obs != nil {
+		obs(info)
+	}
+}
+
+// An unguarded call is the regression the analyzer exists for.
+func unguarded(obs engine.Observer, info engine.SuperstepInfo) {
+	obs(info) // want `call of engine\.Observer obs is not nil-gated`
+}
+
+// An early return on nil dominates everything after it.
+func earlyReturn(r *runner, info engine.SuperstepInfo) {
+	if r.cfg.Observer == nil {
+		return
+	}
+	r.cfg.Observer(info)
+}
+
+// A boolean flag assigned once from the comparison counts as a guard.
+func flagGuard(r *runner, info engine.SuperstepInfo) {
+	observing := r.cfg.Observer != nil
+	if observing {
+		r.cfg.Observer(info)
+	}
+}
+
+// The else branch of an == nil check is the non-nil side.
+func elseGuard(obs engine.Observer, info engine.SuperstepInfo) {
+	if obs == nil {
+		return
+	} else {
+		obs(info)
+	}
+}
+
+// A conjunction guards if either conjunct is the nil check.
+func conjunction(r *runner, info engine.SuperstepInfo) {
+	if r.cfg.enabled && r.cfg.Observer != nil {
+		r.cfg.Observer(info)
+	}
+}
+
+// Guarding a different expression does not guard this one.
+func wrongGuard(a, b engine.Observer, info engine.SuperstepInfo) {
+	if a != nil {
+		b(info) // want `call of engine\.Observer b is not nil-gated`
+	}
+}
+
+// A reasoned directive suppresses exactly the annotated call…
+func suppressed(obs engine.Observer, info engine.SuperstepInfo) {
+	//gxlint:nilgated constructor rejects nil observers in this fixture
+	obs(info)
+	obs(info) // want `call of engine\.Observer obs is not nil-gated`
+}
+
+// …and a reasonless directive suppresses nothing.
+func reasonless(obs engine.Observer, info engine.SuperstepInfo) {
+	//gxlint:nilgated
+	obs(info) // want `call of engine\.Observer obs is not nil-gated`
+}

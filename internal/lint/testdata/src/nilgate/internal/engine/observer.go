@@ -1,0 +1,11 @@
+// Package engine declares the Observer hook type at a path matching
+// the real engine package, for the nilgate fixture.
+package engine
+
+// SuperstepInfo mirrors the real per-superstep report payload.
+type SuperstepInfo struct {
+	Superstep int
+}
+
+// Observer is the optional per-superstep hook; nil means not observing.
+type Observer func(SuperstepInfo)

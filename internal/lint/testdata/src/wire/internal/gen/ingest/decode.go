@@ -1,0 +1,61 @@
+// Package ingest is the wiresize fixture: make() sizes decoded from
+// wire input must be bounds-checked first.
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+type header struct {
+	NumVertices uint64
+	NumEdges    uint64
+}
+
+// Unchecked wire-derived sizes are the lying-header bug.
+func badDecode(buf []byte) []float64 {
+	n := binary.LittleEndian.Uint64(buf)
+	return make([]float64, int(n)) // want `allocation size n is not bounds-checked`
+}
+
+func badHeaderField(h header) []uint32 {
+	return make([]uint32, 0, int(h.NumEdges)) // want `allocation size h\.NumEdges is not bounds-checked`
+}
+
+func badMap(h header) map[uint64]uint32 {
+	return make(map[uint64]uint32, int(h.NumVertices)) // want `allocation size h\.NumVertices is not bounds-checked`
+}
+
+// A relational comparison against the verified input size upstream of
+// the make is the bound check the analyzer looks for.
+func okChecked(buf []byte, fileSize int64) ([]float64, error) {
+	n := binary.LittleEndian.Uint64(buf)
+	if int64(n) > fileSize/8 {
+		return nil, errors.New("header claims more entries than the file holds")
+	}
+	return make([]float64, int(n)), nil
+}
+
+// Sizes derived from data already in memory are intrinsically bounded.
+func okLen(buf []byte) []uint64 {
+	return make([]uint64, len(buf)/8)
+}
+
+// min() against a bound is itself a bound check; constants are free.
+func okMin(n uint64) ([]byte, []byte) {
+	return make([]byte, min(int(n), 1<<16)), make([]byte, 28)
+}
+
+// A reasoned directive suppresses exactly the annotated make…
+func suppressed(h header) ([]uint32, []uint32) {
+	//gxlint:unsized chunked reads below never trust this count
+	a := make([]uint32, int(h.NumEdges))
+	b := make([]uint32, int(h.NumEdges)) // want `allocation size h\.NumEdges is not bounds-checked`
+	return a, b
+}
+
+// …and a reasonless directive suppresses nothing.
+func reasonless(h header) []uint32 {
+	//gxlint:unsized
+	return make([]uint32, int(h.NumVertices)) // want `allocation size h\.NumVertices is not bounds-checked`
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gxplug/internal/lint/analysis"
+)
+
+// fileName returns the source file name of f.
+func fileName(pass *analysis.Pass, f *ast.File) string {
+	return pass.Fset.Position(f.Pos()).Filename
+}
+
+// inspectWithStack walks the file like ast.Inspect while maintaining
+// the ancestor stack (outermost first, excluding n itself).
+func inspectWithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// calleeObj resolves the object a call expression invokes, looking
+// through parentheses. It returns nil for indirect calls through
+// non-identifier expressions and for type conversions.
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgLevelCall reports whether call invokes the package-level
+// function pkgPath.name (not a method).
+func isPkgLevelCall(pass *analysis.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := calleeObj(pass, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isConversion reports whether call is a type conversion.
+func isConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if obj := calleeObj(pass, call); obj != nil {
+		if b, ok := obj.(*types.Builtin); ok {
+			return b.Name()
+		}
+	}
+	return ""
+}
+
+// callFree reports whether evaluating e performs no function or method
+// call: conversions and the pure builtins len/cap/min/max are allowed.
+func callFree(pass *analysis.Pass, e ast.Expr) bool {
+	free := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return free
+		}
+		if isConversion(pass, call) {
+			return free
+		}
+		switch builtinName(pass, call) {
+		case "len", "cap", "min", "max":
+			return free
+		}
+		free = false
+		return false
+	})
+	return free
+}
+
+// refersTo reports whether e mentions any of the given objects.
+func refersTo(pass *analysis.Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// intLike reports whether t's underlying type is an integer (including
+// named types like time.Duration), for which accumulation is exactly
+// commutative and therefore iteration-order-independent.
+func intLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+// terminates reports whether the statement list unconditionally leaves
+// the enclosing scope: ends in return, branch, or a panic call.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// on the stack, and its body.
+func enclosingFunc(stack []ast.Node) (ast.Node, *ast.BlockStmt) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn, fn.Body
+		case *ast.FuncLit:
+			return fn, fn.Body
+		}
+	}
+	return nil, nil
+}
+
+// posAfter reports whether pos lies strictly after node n.
+func posAfter(pos token.Pos, n ast.Node) bool {
+	return pos > n.End()
+}

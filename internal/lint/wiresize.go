@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gxplug/internal/lint/analysis"
+)
+
+// WireSizeAnalyzer hardens the decode paths (snapshot loading,
+// edge-list ingestion, shared-memory codecs) against the lying-header
+// class of bugs: a length field read from wire input must never reach
+// make() unchecked, or a corrupt 28-byte header can demand a
+// multi-gigabyte allocation before any payload is validated.
+//
+// The rule: every non-constant size argument of make() in a decode
+// package must be derived from expressions that are either constants,
+// len/cap of in-memory data, or values that appear in a relational
+// comparison (a bound check) earlier in the same function. Anything
+// else — a struct field, a parameter, a freshly decoded integer — is
+// assumed to be attacker-controlled until compared against something.
+//
+// Suppress with //gxlint:unsized <reason> when the bound is enforced
+// elsewhere (e.g. chunked reads that never trust the size).
+var WireSizeAnalyzer = &analysis.Analyzer{
+	Name: "wiresize",
+	Doc:  "flag make() whose size derives from decoded wire input without a prior bound check",
+	Run:  runWireSize,
+}
+
+func runWireSize(pass *analysis.Pass) error {
+	if !pkgMatch(pass.Path, wireSizeTargets) {
+		return nil
+	}
+	dirs := indexDirectives(pass)
+	for _, f := range pass.Files {
+		if isTestFile(fileName(pass, f)) {
+			continue
+		}
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || builtinName(pass, call) != "make" || len(call.Args) < 2 {
+				return true
+			}
+			_, body := enclosingFunc(stack)
+			for _, size := range call.Args[1:] {
+				if expr := unsizedPart(pass, body, call, size); expr != nil {
+					if !dirs.suppressed("unsized", call.Pos()) {
+						pass.Reportf(call.Pos(), "allocation size %s is not bounds-checked before make: compare it against the verified input size first, or a lying header can force the allocation (//gxlint:unsized <reason> to suppress)",
+							types.ExprString(expr))
+					}
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unsizedPart returns the first sub-expression of size that is neither
+// intrinsically bounded nor bound-checked before the make call, or nil
+// if the whole expression is accounted for.
+func unsizedPart(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr, size ast.Expr) ast.Expr {
+	size = ast.Unparen(size)
+	// Constants are fine, whatever their shape.
+	if tv, ok := pass.TypesInfo.Types[size]; ok && tv.Value != nil {
+		return nil
+	}
+	switch e := size.(type) {
+	case *ast.BinaryExpr:
+		if p := unsizedPart(pass, body, call, e.X); p != nil {
+			return p
+		}
+		return unsizedPart(pass, body, call, e.Y)
+	case *ast.UnaryExpr:
+		return unsizedPart(pass, body, call, e.X)
+	case *ast.CallExpr:
+		switch builtinName(pass, e) {
+		case "len", "cap":
+			return nil // bounded by data already in memory
+		case "min":
+			// min(wire, bound) is itself a bound check.
+			return nil
+		}
+		if isConversion(pass, e) && len(e.Args) == 1 {
+			return unsizedPart(pass, body, call, e.Args[0])
+		}
+		return e // opaque call result: not provably bounded
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		if body != nil && checkedBefore(pass, body, call, types.ExprString(size)) {
+			return nil
+		}
+		return size
+	}
+	return size
+}
+
+// checkedBefore reports whether an expression structurally equal to
+// want participates in a relational comparison before the make call in
+// the same function body — the syntactic shape of a bound check.
+func checkedBefore(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr, want string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Pos() >= call.Pos() {
+			return true
+		}
+		switch b.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		if coreString(pass, b.X) == want || coreString(pass, b.Y) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// coreString renders an expression with parentheses, unary operators,
+// and conversions stripped, so `int64(n) > max` counts as a check of n.
+func coreString(pass *analysis.Pass, e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if isConversion(pass, x) && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return types.ExprString(e)
+		default:
+			return types.ExprString(e)
+		}
+	}
+}
