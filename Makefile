@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet lint build examples test test-full race race-boundedcache race-suite race-resume cover fuzz-smoke ci bench
+.PHONY: all fmt vet lint build examples test test-full race race-boundedcache race-suite race-resume race-serve cover fuzz-smoke ci bench bench-ingest bench-serve
 
 all: ci
 
@@ -64,6 +64,13 @@ race-suite:
 race-resume:
 	GOMAXPROCS=8 $(GO) test -race -run 'TestResumeBitIdentical' ./gx
 
+# The serving layer runs one process-wide result cache under concurrent
+# HTTP handlers, stream readers, and the executor worker; keep the gxd
+# end-to-end path and the cache hammer pinned under the race detector.
+race-serve:
+	GOMAXPROCS=8 $(GO) test -race ./internal/serve ./cmd/gxd
+	GOMAXPROCS=8 $(GO) test -race -run 'TestResultCache|TestSuiteResultCache' ./gx
+
 # Per-package coverage summary, gated on the floors recorded in
 # COVERAGE_baseline.txt for the public API and the engine core. The test
 # run's own status is checked before the floors: a failing suite fails
@@ -95,7 +102,7 @@ fuzz-smoke:
 	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzSnapshotV2DecodeNoPanic$$' -fuzztime=10s
 	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzEdgeListParse$$' -fuzztime=10s
 
-ci: fmt lint build examples race race-boundedcache race-suite race-resume cover fuzz-smoke
+ci: fmt lint build examples race race-boundedcache race-suite race-resume race-serve cover fuzz-smoke
 
 # Record the engine superstep microbenchmarks (latency + allocs) in
 # BENCH_engine.json.
@@ -106,3 +113,8 @@ bench:
 # BENCH_ingest.json (the ≥10× cold-start speedup of file-backed suites).
 bench-ingest:
 	$(GO) test ./internal/gen/ingest -run '^$$' -bench BenchmarkSnapshotLoad -benchmem | $(GO) run ./cmd/benchjson > BENCH_ingest.json
+
+# Record the result-cache-hit vs full-recompute comparison in
+# BENCH_serve.json (what a gxd resubmission costs versus a cold run).
+bench-serve:
+	$(GO) test ./gx -run '^$$' -bench BenchmarkResultCacheHit -benchmem | $(GO) run ./cmd/benchjson > BENCH_serve.json

@@ -15,6 +15,8 @@
 //	gxrun -suite suite.json -pool 8              # bounded run concurrency
 //	gxrun -scenario crashy.json -checkpoint ckpt # checkpoint every superstep
 //	gxrun -scenario crashy.json -checkpoint ckpt -resume
+//	gxrun -remote 127.0.0.1:8080 -suite suite.json
+//	gxrun -suite suite.json -manifest datasets.json
 //
 // Alongside registered generator names, -dataset (and the dataset field
 // of scenario/suite JSON) accepts the `file:` kind: file:PATH sniffs
@@ -54,6 +56,20 @@
 // run. The simulated checkpoint cost is part of the virtual clock, so
 // checkpointed runs are comparable with each other, not with
 // checkpoint-free runs.
+//
+// -remote ADDR submits -scenario/-suite to a gxd daemon instead of
+// running locally: the file is POSTed to /v1/submit and the NDJSON
+// event stream rendered through the same formatting as a local run, so
+// against a fresh daemon the output is byte-identical. Because runs are
+// bit-deterministic, the daemon serves resubmitted scenarios from its
+// digest-keyed result cache with zero engine supersteps — and the
+// report still matches. Per-run flags, -pool (the server's knob) and
+// checkpointing are local-only and conflict with -remote.
+//
+// -manifest FILE maps logical dataset names to `#sha256=`-pinned
+// `file:` references (a gx.Manifest); references are resolved before
+// validation, locally or client-side before a remote submit, so
+// scenario files can name datasets logically instead of by host path.
 package main
 
 import (
@@ -67,6 +83,7 @@ import (
 	"time"
 
 	"gxplug/gx"
+	"gxplug/internal/serve"
 )
 
 // errFlagParse marks flag-parsing failures the FlagSet has already
@@ -112,12 +129,46 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ckptDir      = fs.String("checkpoint", "", "directory for checkpoint.gxsnap: save a consistent cut of the run (single runs)")
 		ckptEvery    = fs.Int("every", 1, "checkpoint interval in supersteps (with -checkpoint)")
 		resume       = fs.Bool("resume", false, "continue from the cut in -checkpoint instead of starting fresh")
+		remoteAddr   = fs.String("remote", "", "gxd daemon address: submit -scenario/-suite there instead of running locally")
+		manifestPath = fs.String("manifest", "", "JSON dataset manifest: logical names -> pinned file: references, resolved before validation")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
 		return errFlagParse // the FlagSet already printed the details
+	}
+
+	// A zero gx.Manifest resolves nothing, so the no-flag path is free.
+	var manifest gx.Manifest
+	if *manifestPath != "" {
+		var err error
+		if manifest, err = gx.LoadManifest(*manifestPath); err != nil {
+			return err
+		}
+	}
+
+	if *remoteAddr != "" {
+		// Remote runs are declarative by construction: the daemon runs
+		// exactly what a file describes, so per-run flags (and local-only
+		// machinery like checkpoints or -pool, which belongs to the
+		// server) would be silently dead — all loud errors.
+		if *suitePath == "" && *scenarioPath == "" {
+			return errors.New("gxrun: -remote requires -scenario or -suite (remote runs are described by files)")
+		}
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "remote", "suite", "scenario", "progress", "manifest":
+			default:
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			return fmt.Errorf("gxrun: -remote cannot be combined with %s (the daemon runs the file as written)",
+				strings.Join(conflicts, ", "))
+		}
+		return runRemote(*remoteAddr, *scenarioPath, *suitePath, manifest, *progress, stdout)
 	}
 
 	if *suitePath != "" {
@@ -127,7 +178,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "suite", "pool", "progress":
+			case "suite", "pool", "progress", "manifest":
 			default:
 				conflicts = append(conflicts, "-"+f.Name)
 			}
@@ -136,7 +187,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("gxrun: -suite cannot be combined with %s (suite entries carry their own scenarios)",
 				strings.Join(conflicts, ", "))
 		}
-		return runSuite(*suitePath, *pool, *progress, stdout)
+		return runSuite(*suitePath, *pool, manifest, *progress, stdout)
 	}
 	// The mirror-image hole: -pool configures suite concurrency only, so
 	// setting it without -suite would be silently dead.
@@ -182,7 +233,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			s.Opt = gx.NoOptimizations()
 		}
 	}
-	s = s.WithDefaults()
+	s = manifest.Resolve(s).WithDefaults()
 	if err := s.Validate(); err != nil {
 		return err
 	}
@@ -283,13 +334,14 @@ func (rt *robustnessTotals) add(st gx.Superstep) {
 // reports in suite order and closing with a summary table plus the
 // dataset-cache accounting. Everything printed is a deterministic
 // function of the suite file, so output is bit-identical at every pool
-// size.
-func runSuite(path string, pool int, progress bool, stdout io.Writer) error {
+// size. Rendering lives in internal/serve, shared with -remote, which is
+// what makes a remote run's report byte-identical to this local one.
+func runSuite(path string, pool int, manifest gx.Manifest, progress bool, stdout io.Writer) error {
 	suite, err := gx.LoadSuite(path)
 	if err != nil {
 		return err
 	}
-	suite = suite.WithDefaults()
+	suite = manifest.ResolveSuite(suite).WithDefaults()
 	if err := suite.Validate(); err != nil {
 		return err
 	}
@@ -305,7 +357,7 @@ func runSuite(path string, pool int, progress bool, stdout io.Writer) error {
 	opts := []gx.SuiteOption{
 		gx.WithEntryDone(func(er gx.EntryResult) {
 			printed++
-			reportEntry(stdout, printed, n, er)
+			serve.RenderEntry(stdout, printed, n, serve.ReportOf(er))
 		}),
 	}
 	if pool != 0 { // 0 keeps RunSuite's GOMAXPROCS default; negatives surface its validation error
@@ -313,12 +365,7 @@ func runSuite(path string, pool int, progress bool, stdout io.Writer) error {
 	}
 	if progress {
 		opts = append(opts, gx.WithSuiteObserver(func(entry string, st gx.Superstep) {
-			mark := " "
-			if st.SkippedSync {
-				mark = "s"
-			}
-			fmt.Fprintf(stdout, "  %s [%4d]%s frontier=%-9d msgs=%-9d t=%v\n",
-				entry, st.Iteration, mark, st.Frontier, st.Messages, st.Makespan)
+			renderProgress(stdout, entry, st)
 		}))
 	}
 
@@ -326,57 +373,26 @@ func runSuite(path string, pool int, progress bool, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	reportSuiteSummary(stdout, res)
+	reps := make([]serve.EntryReport, len(res.Entries))
+	for i, er := range res.Entries {
+		reps[i] = serve.ReportOf(er)
+	}
+	serve.RenderSuiteSummary(stdout, reps, res.Cache)
 	if failed := res.Failed(); failed > 0 {
 		return fmt.Errorf("gxrun: %d of %d suite entries failed", failed, n)
 	}
 	return nil
 }
 
-// reportEntry prints one streamed suite-entry report.
-func reportEntry(w io.Writer, i, n int, er gx.EntryResult) {
-	s := er.Scenario
-	fmt.Fprintf(w, "[%d/%d] %s: %s on %s/%s over %d nodes, accel=%s\n",
-		i, n, er.Name, s.Algorithm, s.Dataset, s.Engine, s.Nodes, s.Accel)
-	if er.Err != nil {
-		fmt.Fprintf(w, "  error (%s) : %v\n", er.Class, er.Err)
-		return
+// renderProgress prints one suite -progress line; the remote stream path
+// prints the identical line from a decoded superstep event.
+func renderProgress(w io.Writer, entry string, st gx.Superstep) {
+	mark := " "
+	if st.SkippedSync {
+		mark = "s"
 	}
-	res, tot := er.Result, er.Totals
-	fmt.Fprintf(w, "  time        : %v\n", res.Time)
-	fmt.Fprintf(w, "  supersteps  : %d (%d syncs skipped)\n", tot.Supersteps, tot.SkippedSyncs)
-	fmt.Fprintf(w, "  messages    : %d (%d bytes)\n", tot.Messages, tot.MessageBytes)
-	if tot.CacheHits+tot.CacheMisses > 0 {
-		fmt.Fprintf(w, "  cache       : %.0f%% hit rate, %d evictions (%d dirty spills)\n",
-			100*float64(tot.CacheHits)/float64(tot.CacheHits+tot.CacheMisses),
-			tot.CacheEvictions, tot.CacheDirtySpills)
-	}
-	if tot.FaultsInjected > 0 {
-		fmt.Fprintf(w, "  faults      : %d injected, %d stall retries absorbed\n",
-			tot.FaultsInjected, tot.FaultRetries)
-	}
-	finite, sum := digest(res.Attrs)
-	fmt.Fprintf(w, "  result      : %d finite attribute values, sum %.4f\n", finite, sum)
-}
-
-// reportSuiteSummary prints the closing table and cache accounting.
-func reportSuiteSummary(w io.Writer, res *gx.SuiteResult) {
-	fmt.Fprintf(w, "%-16s%-12s%-12s%-14s%-14s%-7s%s\n",
-		"entry", "engine", "algorithm", "dataset", "time", "iters", "result-sum")
-	for _, er := range res.Entries {
-		if er.Err != nil {
-			fmt.Fprintf(w, "%-16s%-12s%-12s%-14serror: %v\n",
-				er.Name, er.Scenario.Engine, er.Scenario.Algorithm, er.Scenario.Dataset, er.Err)
-			continue
-		}
-		_, sum := digest(er.Result.Attrs)
-		fmt.Fprintf(w, "%-16s%-12s%-12s%-14s%-14s%-7d%.4f\n",
-			er.Name, er.Scenario.Engine, er.Scenario.Algorithm, er.Scenario.Dataset,
-			fmt.Sprintf("%.4fs", er.Result.Time.Seconds()), er.Result.Iterations, sum)
-	}
-	c := res.Cache
-	fmt.Fprintf(w, "dataset cache: %d graphs loaded (%d hits), %d partitionings built (%d hits)\n",
-		c.GraphLoads, c.GraphHits, c.PartitionBuilds, c.PartitionHits)
+	fmt.Fprintf(w, "  %s [%4d]%s frontier=%-9d msgs=%-9d t=%v\n",
+		entry, st.Iteration, mark, st.Frontier, st.Messages, st.Makespan)
 }
 
 // digest folds an attribute array into the comparable result line: the

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"gxplug/internal/serve"
+)
+
+func startDaemon(t *testing.T) (*httptest.Server, *serve.Server) {
+	t.Helper()
+	srv, err := serve.New(serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() { srv.Drain(); hs.Close() })
+	return hs, srv
+}
+
+// TestRemoteSuiteMatchesGolden is the tentpole end-to-end: `gxrun
+// -remote` against a fresh daemon must print the suite golden
+// byte-identically — same entry reports, same summary table, same cache
+// accounting — because the daemon runs the same deterministic suite
+// through the same executor and the client renders it through the same
+// formatter. A second submission is then served entirely from the
+// daemon's result cache (zero engine supersteps) and STILL prints the
+// identical bytes.
+func TestRemoteSuiteMatchesGolden(t *testing.T) {
+	hs, _ := startDaemon(t)
+	golden, err := os.ReadFile("testdata/suite-pagerank-mix.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first bytes.Buffer
+	if err := run([]string{"-remote", hs.URL, "-suite", "testdata/suite-pagerank-mix.json"}, &first, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != string(golden) {
+		t.Fatalf("remote output differs from golden:\n--- remote\n%s--- golden\n%s", first.String(), golden)
+	}
+
+	var second bytes.Buffer
+	if err := run([]string{"-remote", hs.URL, "-suite", "testdata/suite-pagerank-mix.json"}, &second, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != string(golden) {
+		t.Fatalf("cache-served output differs from golden:\n--- served\n%s--- golden\n%s", second.String(), golden)
+	}
+
+	// Prove the second run really was served: the daemon's result cache
+	// counts one hit per entry and its jobs ran zero further supersteps.
+	resp, err := http.Get(hs.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h serve.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Results.Hits != 3 {
+		t.Fatalf("result cache hits = %d, want 3 (one per resubmitted entry)", h.Results.Hits)
+	}
+	// The dataset cache was untouched by the cached job: still the
+	// first run's accounting, which is why the cache line stayed golden.
+	if h.Cache.GraphLoads != 2 {
+		t.Fatalf("graph loads = %d, want 2", h.Cache.GraphLoads)
+	}
+}
+
+// TestRemoteFaultSuite covers failing entries over the wire: the faults
+// suite golden must render identically, and the failure count must come
+// back as gxrun's exit error.
+func TestRemoteFaultSuite(t *testing.T) {
+	hs, _ := startDaemon(t)
+	golden, err := os.ReadFile("testdata/suite-faults.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{"-remote", hs.URL, "-suite", "testdata/suite-faults.json"}, &out, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "suite entries failed") {
+		t.Fatalf("err = %v, want failed-entries error", err)
+	}
+	if out.String() != string(golden) {
+		t.Fatalf("remote fault-suite output differs from golden:\n--- remote\n%s--- golden\n%s", out.String(), golden)
+	}
+}
+
+// TestRemoteScenario submits a bare scenario file remotely; it renders
+// in suite form (one entry named "scenario").
+func TestRemoteScenario(t *testing.T) {
+	hs, _ := startDaemon(t)
+	var out bytes.Buffer
+	if err := run([]string{"-remote", hs.URL, "-scenario", "testdata/pagerank-pg-4n.json"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"suite testdata/pagerank-pg-4n.json: 1 entries\n",
+		"[1/1] scenario: pagerank on orkut/powergraph over 4 nodes, accel=gpu\n",
+		"dataset cache: 1 graphs loaded (0 hits), 1 partitionings built (0 hits)\n",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("remote scenario output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRemoteFlagConflicts: -remote requires a file and rejects local-only
+// flags loudly.
+func TestRemoteFlagConflicts(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no file":    {"-remote", "127.0.0.1:1"},
+		"pool":       {"-remote", "127.0.0.1:1", "-suite", "x.json", "-pool", "2"},
+		"checkpoint": {"-remote", "127.0.0.1:1", "-scenario", "x.json", "-checkpoint", "d"},
+		"resume":     {"-remote", "127.0.0.1:1", "-scenario", "x.json", "-resume"},
+		"per-field":  {"-remote", "127.0.0.1:1", "-scenario", "x.json", "-nodes", "4"},
+	} {
+		err := run(args, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), "-remote") {
+			t.Errorf("%s: err = %v, want -remote conflict error", name, err)
+		}
+	}
+}
+
+// TestRemoteProgressStreams: -progress renders per-superstep lines from
+// the event stream, tagged with entry names, identical in shape to the
+// local suite observer's.
+func TestRemoteProgressStreams(t *testing.T) {
+	hs, _ := startDaemon(t)
+	var local, remote bytes.Buffer
+	if err := run([]string{"-suite", "testdata/suite-pagerank-mix.json", "-pool", "1", "-progress"}, &local, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-remote", hs.URL, "-suite", "testdata/suite-pagerank-mix.json", "-progress"}, &remote, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// The daemon runs entries on its own pool, so progress lines of
+	// different entries may interleave differently — but the multiset of
+	// lines is identical because each line is deterministic per entry.
+	sortLines := func(s string) string {
+		lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+		var progress []string
+		for _, l := range lines {
+			if strings.HasPrefix(l, "  ") && strings.Contains(l, "frontier=") {
+				progress = append(progress, l)
+			}
+		}
+		sort.Strings(progress)
+		return strings.Join(progress, "\n")
+	}
+	if sortLines(local.String()) != sortLines(remote.String()) {
+		t.Fatal("local and remote -progress lines differ as multisets")
+	}
+	if !strings.Contains(remote.String(), "frontier=") {
+		t.Fatal("remote -progress printed no superstep lines")
+	}
+}

@@ -157,6 +157,34 @@ func (c *DatasetCache) fileGraph(name string, fd fileDataset) (*Graph, error) {
 	return r.g, r.err
 }
 
+// contentSHA returns the memoized SHA-256 content digest of a `file:`
+// dataset's current bytes; ok is false when name is a registered
+// (generator) dataset, which needs no content pinning — its identity is
+// the (dataset, scale, seed) triple. The digest pass shares the
+// stat-identity memo with fileGraph, so computing a result-cache key
+// and then loading the file digests it once, and a rewritten file
+// (changed size/mtime) is re-digested exactly as loads are.
+func (c *DatasetCache) contentSHA(name string) (sha string, ok bool, err error) {
+	fd, ok, err := parseFileDataset(name)
+	if !ok || err != nil {
+		return "", ok, err
+	}
+	st, err := os.Stat(fd.path)
+	if err != nil {
+		return "", true, fmt.Errorf("gx: dataset %q: %w", name, err)
+	}
+	sk := statKey{path: fd.path, size: st.Size(), mtimeNanos: st.ModTime().UnixNano()}
+	d := c.digests.Get(sk, func() fileDigest {
+		digest, sha, err := fd.digests()
+		return fileDigest{digest: digest, sha256: sha, err: err}
+	})
+	if d.err != nil {
+		c.digests.Drop(sk)
+		return "", true, fmt.Errorf("gx: dataset %q: %w", name, d.err)
+	}
+	return d.sha256, true, nil
+}
+
 // Partitioning returns the memoized default partitioning of the named
 // engine for g over the given node count, building it on first request.
 // It is exactly what the engine would build for itself, so handing it to

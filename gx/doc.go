@@ -72,6 +72,23 @@
 // records its error without aborting the batch. [WithCache] shares one
 // cache across suites.
 //
+// Determinism makes results *servable*: because a run is a pure function
+// of its scenario, [Scenario.Digest] — a canonical, versioned identity
+// invariant under JSON field order, explicit defaults, and empty-vs-nil
+// slices — soundly keys a [ResultCache], a bounded LRU of
+// [ResultSummary] outcomes (attrs digest, report-line totals, virtual
+// times). [WithResultCache] attaches one to RunSuite: a repeat entry is
+// served from cache with zero engine supersteps ([EntryResult].CacheHit,
+// nil Result), bit-identical to recomputing it. `file:` datasets fold
+// their content digest into the key, so a rewritten file misses instead
+// of serving the old graph's result; runs carrying functional options
+// have no canonical form and bypass the cache by construction. This is
+// the library core of the gxd serving daemon (cmd/gxd,
+// internal/serve), whose thin client is `gxrun -remote` (see
+// examples/serving). A [Manifest] maps logical dataset names to
+// `#sha256=`-pinned file references, resolved before validation, so
+// scenarios can say what a dataset is rather than where it lives.
+//
 // Robustness is part of the same vocabulary. A scenario's Faults field
 // schedules deterministic middleware faults ([FaultSpec]: daemon-crash,
 // msg-stall, accel-oom at a fixed node and superstep); recoverable ones

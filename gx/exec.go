@@ -1,0 +1,155 @@
+package gx
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// executor is the shared execution core every consumer funnels suite
+// entries through: [RunSuite] for library callers and the CLIs, and the
+// gxd serving layer (internal/serve) for remote submissions. It owns
+// the mechanics that used to live inline in RunSuite — the bounded
+// worker pool, the single-flight [DatasetCache] wiring, per-entry
+// failure classification, serialized observer fan-out, and in-order
+// result streaming — plus the digest-keyed [ResultCache] consult, so a
+// change to any of them is a local change in one layer.
+//
+// Entries are declarative by construction (a [SuiteEntry] is a JSON
+// scenario), which is what makes result caching sound here: runs that
+// need functional options go through [Run] directly and never reach
+// the cache.
+type executor struct {
+	// pool bounds the number of entries executing concurrently (≥ 1).
+	pool int
+	// cache is the dataset/partition cache entries load through.
+	cache *DatasetCache
+	// results, when non-nil, serves repeat scenarios from their cached
+	// summaries instead of re-running them.
+	results *ResultCache
+	// obs and done are the caller's streaming hooks; both serialized.
+	obs  func(entry string, st Superstep)
+	done func(EntryResult)
+}
+
+// execute runs the defaults-applied entries on the bounded pool and
+// returns one result per entry, in entry order. The done callback is
+// invoked in entry order as prefixes complete; obs fans out
+// per-superstep reports. Both callbacks are serialized against each
+// other, so they may share unsynchronized state such as one stdout.
+func (x *executor) execute(entries []SuiteEntry) []EntryResult {
+	n := len(entries)
+	results := make([]EntryResult, n)
+
+	// cbMu serializes every user callback — the per-superstep observer
+	// and the entry-done stream — across concurrently running entries.
+	var cbMu sync.Mutex
+	finished := make([]bool, n)
+	emitted := 0
+
+	workers := x.pool
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				results[i] = x.runEntry(entries[i], &cbMu)
+				if x.done == nil {
+					continue
+				}
+				cbMu.Lock()
+				finished[i] = true
+				for emitted < n && finished[emitted] {
+					x.done(results[emitted])
+					emitted++
+				}
+				cbMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runEntry executes one defaults-applied entry against the shared
+// caches, aggregating its superstep reports into totals. A result-cache
+// hit short-circuits before any graph load or engine superstep: the
+// entry comes back with its cached summary, a nil Result, and CacheHit
+// set. cbMu is the executor-wide callback lock shared with entry-done
+// emission.
+func (x *executor) runEntry(e SuiteEntry, cbMu *sync.Mutex) (er EntryResult) {
+	defer func() { er.Class = FailureClass(er.Err) }()
+	er = EntryResult{Name: e.Name, Scenario: e.Scenario}
+	key, cacheable := x.resultKey(e.Scenario)
+	if cacheable {
+		if sum, ok := x.results.Get(key); ok {
+			er.Summary, er.CacheHit = sum, true
+			return er
+		}
+	}
+	g, err := x.cache.Graph(e.Dataset, e.Scale, e.Seed)
+	if err != nil {
+		er.Err = err
+		return er
+	}
+	part, err := x.cache.Partitioning(g, e.Engine, e.Nodes)
+	if err != nil {
+		er.Err = err
+		return er
+	}
+	er.Result, er.Err = Run(e.Scenario,
+		WithGraph(g),
+		WithPartitioning(part),
+		WithObserver(func(st Superstep) {
+			er.Totals.add(st)
+			if x.obs != nil {
+				cbMu.Lock()
+				x.obs(e.Name, st)
+				cbMu.Unlock()
+			}
+		}),
+	)
+	if er.Err != nil {
+		return er
+	}
+	er.Summary = Summarize(er.Result, er.Totals)
+	if cacheable {
+		x.results.Put(key, er.Summary)
+	}
+	return er
+}
+
+// resultKey derives the result-cache key of a declarative scenario: the
+// canonical [Scenario.Digest], with `file:` datasets folding in the
+// file's current content digest (the same memoized pass [DatasetCache]
+// loads through) so a rewritten file can never hit a stale entry.
+// cacheable is false when no result cache is attached or the key cannot
+// be computed — the entry then just runs.
+func (x *executor) resultKey(s Scenario) (key string, cacheable bool) {
+	if x.results == nil {
+		return "", false
+	}
+	d, err := s.Digest()
+	if err != nil {
+		return "", false
+	}
+	sha, ok, err := x.cache.contentSHA(s.Dataset)
+	if err != nil {
+		// The load will surface the same failure with full context;
+		// don't cache under a key we could not pin to file content.
+		return "", false
+	}
+	if ok {
+		return d + "+sha256:" + sha, true
+	}
+	return d, true
+}

@@ -1,0 +1,139 @@
+package gx
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// pinnedRef writes content to a temp file and returns a manifest-grade
+// reference: file+edgelist:PATH#sha256=CONTENT.
+func pinnedRef(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pinned.el")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(content))
+	return "file+edgelist:" + path + "#sha256=" + hex.EncodeToString(sum[:])
+}
+
+// TestManifestParseAndValidate covers the loud-failure contract: every
+// mapping needs a plain logical name and a pinned file: reference, and
+// all problems are reported together.
+func TestManifestParseAndValidate(t *testing.T) {
+	ref := pinnedRef(t, "0 1\n1 0\n")
+
+	m, err := ParseManifest([]byte(fmt.Sprintf(`{"datasets": {"toy": %q}}`, ref)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Datasets["toy"] != ref {
+		t.Fatalf("parsed %+v", m)
+	}
+
+	for name, body := range map[string]string{
+		"unknown field":  `{"datasets": {}, "extra": 1}`,
+		"unpinned ref":   `{"datasets": {"toy": "file+edgelist:/tmp/x.el"}}`,
+		"non-file ref":   `{"datasets": {"toy": "orkut"}}`,
+		"file-like name": fmt.Sprintf(`{"datasets": {"file:alias": %q}}`, ref),
+		"empty name":     fmt.Sprintf(`{"datasets": {"": %q}}`, ref),
+	} {
+		if _, err := ParseManifest([]byte(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Multiple problems join; name order is deterministic.
+	bad := Manifest{Datasets: map[string]string{
+		"b": "not-a-file-ref",
+		"a": "file+edgelist:/tmp/x.el",
+	}}
+	err = bad.Validate()
+	if err == nil {
+		t.Fatal("bad manifest validated")
+	}
+	if msg := err.Error(); !strings.Contains(msg, `"a"`) || !strings.Contains(msg, `"b"`) {
+		t.Fatalf("not all problems reported: %v", msg)
+	}
+}
+
+// TestManifestResolveEndToEnd runs a logically-named scenario through
+// resolution and execution: the manifest rewrite must happen before
+// validation (the logical name alone would fail it) and the resolved run
+// must verify the content pin.
+func TestManifestResolveEndToEnd(t *testing.T) {
+	content := "0 1\n1 2\n2 0\n"
+	ref := pinnedRef(t, content)
+	m := Manifest{Datasets: map[string]string{"toy": ref}}
+
+	s := Scenario{Engine: "graphx", Algorithm: "cc", Dataset: "toy", Nodes: 1}
+	if err := s.Validate(); err == nil {
+		t.Fatal("unresolved logical name validated")
+	}
+	rs := m.Resolve(s)
+	if rs.Dataset != ref {
+		t.Fatalf("resolved to %q", rs.Dataset)
+	}
+	if err := rs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(rs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unmapped names pass through untouched (generators keep working).
+	if got := m.Resolve(Scenario{Dataset: "orkut"}); got.Dataset != "orkut" {
+		t.Fatalf("unmapped dataset rewritten to %q", got.Dataset)
+	}
+
+	// The pin is enforced: content drift fails the resolved run loudly.
+	path := strings.TrimSuffix(strings.TrimPrefix(ref, "file+edgelist:"), "#sha256="+refSHA(content))
+	if err := os.WriteFile(path, []byte("0 1\n1 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(rs); err == nil || !strings.Contains(err.Error(), "sha256") {
+		t.Fatalf("drifted content ran anyway: %v", err)
+	}
+
+	// Suite resolution touches every entry and leaves the input alone.
+	su := Suite{Entries: []SuiteEntry{
+		{Name: "a", Scenario: Scenario{Engine: "graphx", Algorithm: "cc", Dataset: "toy", Nodes: 1}},
+		{Name: "b", Scenario: Scenario{Engine: "powergraph", Algorithm: "pagerank", Dataset: "orkut", Nodes: 1}},
+	}}
+	rsu := m.ResolveSuite(su)
+	if rsu.Entries[0].Dataset != ref || rsu.Entries[1].Dataset != "orkut" {
+		t.Fatalf("suite resolution: %q, %q", rsu.Entries[0].Dataset, rsu.Entries[1].Dataset)
+	}
+	if su.Entries[0].Dataset != "toy" {
+		t.Fatal("ResolveSuite mutated its input")
+	}
+}
+
+func refSHA(content string) string {
+	sum := sha256.Sum256([]byte(content))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestLoadManifest covers the file path and its error prefixing.
+func TestLoadManifest(t *testing.T) {
+	ref := pinnedRef(t, "0 1\n")
+	path := filepath.Join(t.TempDir(), "datasets.json")
+	if err := os.WriteFile(path, []byte(fmt.Sprintf(`{"datasets": {"toy": %q}}`, ref)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Datasets["toy"] != ref {
+		t.Fatalf("loaded %+v", m)
+	}
+	if _, err := LoadManifest(path + ".missing"); err == nil {
+		t.Fatal("missing manifest loaded")
+	}
+}

@@ -7,8 +7,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -105,23 +103,28 @@ func (s Suite) JSON() ([]byte, error) {
 
 // EntryTotals aggregates an entry's per-superstep observer reports into
 // per-entry totals — the roll-up counterpart of [Superstep].
+// The JSON form is part of the gxd wire format (inside [ResultSummary]).
 type EntryTotals struct {
 	// Supersteps counts observer reports (== Result.Iterations).
-	Supersteps int
+	Supersteps int `json:"supersteps"`
 	// Messages and MessageBytes sum the cross-node traffic.
-	Messages, MessageBytes int64
+	Messages     int64 `json:"messages"`
+	MessageBytes int64 `json:"message_bytes"`
 	// MirrorUpdates sums master→mirror broadcasts.
-	MirrorUpdates int
+	MirrorUpdates int `json:"mirror_updates"`
 	// SkippedSyncs counts supersteps whose synchronization was skipped.
-	SkippedSyncs int
+	SkippedSyncs int `json:"skipped_syncs"`
 	// Cache* sum the synchronization-cache activity over all supersteps.
-	CacheHits, CacheMisses, CacheEvictions, CacheDirtySpills int64
+	CacheHits        int64 `json:"cache_hits"`
+	CacheMisses      int64 `json:"cache_misses"`
+	CacheEvictions   int64 `json:"cache_evictions"`
+	CacheDirtySpills int64 `json:"cache_dirty_spills"`
 	// FaultsInjected counts faults armed by the entry's fault plan.
-	FaultsInjected int
+	FaultsInjected int `json:"faults_injected"`
 	// FaultRetries sums the stall retries the middleware absorbed.
-	FaultRetries int64
+	FaultRetries int64 `json:"fault_retries"`
 	// CheckpointTime sums the virtual time charged to checkpoint cuts.
-	CheckpointTime time.Duration
+	CheckpointTime time.Duration `json:"checkpoint_time"`
 }
 
 func (t *EntryTotals) add(st Superstep) {
@@ -147,10 +150,20 @@ type EntryResult struct {
 	Name string
 	// Scenario is the defaults-applied scenario that ran.
 	Scenario Scenario
-	// Result is the run outcome; nil when Err is set.
+	// Result is the run outcome; nil when Err is set, and nil for an
+	// entry served from a result cache (see CacheHit).
 	Result *Result
 	// Totals aggregates the entry's per-superstep observer reports.
+	// Zero for a cache hit: a served entry executes no supersteps.
 	Totals EntryTotals
+	// Summary condenses the outcome — attrs digest, totals, makespan.
+	// Set on every successful entry, whether run or served; it is the
+	// part of the outcome that survives the result cache.
+	Summary ResultSummary
+	// CacheHit marks an entry answered from a [ResultCache]: Summary
+	// carries the (bit-identical, by determinism) outcome and Result is
+	// nil because no engine superstep ran.
+	CacheHit bool
 	// Err records a failed entry. One failed entry does not abort the
 	// suite; the others still run.
 	Err error
@@ -197,10 +210,11 @@ func (r *SuiteResult) Err() error {
 
 // suiteConfig collects what the suite options override.
 type suiteConfig struct {
-	pool  int
-	cache *DatasetCache
-	obs   func(entry string, st Superstep)
-	done  func(EntryResult)
+	pool    int
+	cache   *DatasetCache
+	results *ResultCache
+	obs     func(entry string, st Superstep)
+	done    func(EntryResult)
 }
 
 // SuiteOption configures RunSuite.
@@ -215,6 +229,19 @@ func WithPool(n int) SuiteOption { return func(c *suiteConfig) { c.pool = n } }
 // fresh one, extending graph/partitioning reuse across RunSuite calls.
 func WithCache(cache *DatasetCache) SuiteOption {
 	return func(c *suiteConfig) { c.cache = cache }
+}
+
+// WithResultCache serves entries whose canonical scenario digest (plus
+// `file:` content digest) already has a cached outcome from rc instead
+// of re-running them: a hit executes zero engine supersteps and comes
+// back as an [EntryResult] with CacheHit set, the cached Summary, and a
+// nil Result. Sound because runs are bit-deterministic — the served
+// summary is exactly what the run would recompute. Fresh successful
+// entries are stored on completion. Without this option RunSuite never
+// consults a result cache, so existing callers are byte-for-byte
+// unchanged; the gxd serving layer passes one process-wide cache here.
+func WithResultCache(rc *ResultCache) SuiteOption {
+	return func(c *suiteConfig) { c.results = rc }
 }
 
 // WithSuiteObserver attaches a per-superstep observer to every entry,
@@ -269,78 +296,12 @@ func RunSuite(suite Suite, opts ...SuiteOption) (*SuiteResult, error) {
 		cache = NewDatasetCache()
 	}
 
-	n := len(suite.Entries)
-	results := make([]EntryResult, n)
-
-	// cbMu serializes every user callback — the per-superstep observer
-	// and the entry-done stream — across concurrently running entries,
-	// so the two may share unsynchronized state (e.g. one stdout).
-	var cbMu sync.Mutex
-	finished := make([]bool, n)
-	emitted := 0
-
-	workers := cfg.pool
-	if workers > n {
-		workers = n
+	x := &executor{
+		pool:    cfg.pool,
+		cache:   cache,
+		results: cfg.results,
+		obs:     cfg.obs,
+		done:    cfg.done,
 	}
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= n {
-					return
-				}
-				results[i] = runSuiteEntry(suite.Entries[i], cache, &cbMu, cfg.obs)
-				if cfg.done == nil {
-					continue
-				}
-				cbMu.Lock()
-				finished[i] = true
-				for emitted < n && finished[emitted] {
-					cfg.done(results[emitted])
-					emitted++
-				}
-				cbMu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-
-	return &SuiteResult{Name: suite.Name, Entries: results, Cache: cache.Stats()}, nil
-}
-
-// runSuiteEntry executes one defaults-applied entry against the shared
-// cache, aggregating its superstep reports into totals. cbMu is the
-// suite-wide callback lock shared with entry-done emission.
-func runSuiteEntry(e SuiteEntry, cache *DatasetCache, cbMu *sync.Mutex, obs func(string, Superstep)) (er EntryResult) {
-	defer func() { er.Class = FailureClass(er.Err) }()
-	er = EntryResult{Name: e.Name, Scenario: e.Scenario}
-	g, err := cache.Graph(e.Dataset, e.Scale, e.Seed)
-	if err != nil {
-		er.Err = err
-		return er
-	}
-	part, err := cache.Partitioning(g, e.Engine, e.Nodes)
-	if err != nil {
-		er.Err = err
-		return er
-	}
-	er.Result, er.Err = Run(e.Scenario,
-		WithGraph(g),
-		WithPartitioning(part),
-		WithObserver(func(st Superstep) {
-			er.Totals.add(st)
-			if obs != nil {
-				cbMu.Lock()
-				obs(e.Name, st)
-				cbMu.Unlock()
-			}
-		}),
-	)
-	return er
+	return &SuiteResult{Name: suite.Name, Entries: x.execute(suite.Entries), Cache: cache.Stats()}, nil
 }

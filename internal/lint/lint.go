@@ -53,6 +53,9 @@ var determinismTargets = []string{
 	"internal/cluster",
 	"internal/simtime",
 	"internal/harness",
+	// The serving layer feeds results straight from the executor; wall
+	// clocks belong only to the HTTP edge in cmd/gxd, never in here.
+	"internal/serve",
 	"gx",
 }
 

@@ -36,6 +36,8 @@ func TestPkgMatch(t *testing.T) {
 		{"gxplug/internal/engine/powergraph", determinismTargets, true},
 		{"gxplug/internal/gxplug/synccache", determinismTargets, true},
 		{"gxplug/gx", determinismTargets, true},
+		{"gxplug/internal/serve", determinismTargets, true},
+		{"gxplug/cmd/gxd", determinismTargets, false},
 		{"gxplug/internal/engine [gxplug/internal/engine.test]", determinismTargets, true},
 		{"det/internal/engine", determinismTargets, true},
 		{"gxplug/internal/gen/ingest", determinismTargets, false},

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"gxplug/gx"
+)
+
+// This file renders suite reports from wire-form entry reports. It is
+// the single implementation behind `gxrun -suite` (local results
+// converted via [ReportOf]) and `gxrun -remote` (reports straight off
+// the stream), which is what makes a remote run's output byte-identical
+// to a local one: both feed the same summaries through the same
+// formatting. The gxd end-to-end test leans on exactly that, comparing
+// a streamed remote report against the gxrun golden fixture.
+
+// RenderEntry prints one streamed suite-entry report, i of n.
+func RenderEntry(w io.Writer, i, n int, rep EntryReport) {
+	s := rep.Scenario
+	fmt.Fprintf(w, "[%d/%d] %s: %s on %s/%s over %d nodes, accel=%s\n",
+		i, n, rep.Name, s.Algorithm, s.Dataset, s.Engine, s.Nodes, s.Accel)
+	if rep.Err != "" {
+		fmt.Fprintf(w, "  error (%s) : %v\n", rep.Class, rep.Err)
+		return
+	}
+	sum := rep.Summary
+	tot := sum.Totals
+	fmt.Fprintf(w, "  time        : %v\n", sum.Time)
+	fmt.Fprintf(w, "  supersteps  : %d (%d syncs skipped)\n", sum.Iterations, sum.SkippedSyncs)
+	fmt.Fprintf(w, "  messages    : %d (%d bytes)\n", tot.Messages, tot.MessageBytes)
+	if tot.CacheHits+tot.CacheMisses > 0 {
+		fmt.Fprintf(w, "  cache       : %.0f%% hit rate, %d evictions (%d dirty spills)\n",
+			100*float64(tot.CacheHits)/float64(tot.CacheHits+tot.CacheMisses),
+			tot.CacheEvictions, tot.CacheDirtySpills)
+	}
+	if tot.FaultsInjected > 0 {
+		fmt.Fprintf(w, "  faults      : %d injected, %d stall retries absorbed\n",
+			tot.FaultsInjected, tot.FaultRetries)
+	}
+	fmt.Fprintf(w, "  result      : %d finite attribute values, sum %.4f\n", sum.FiniteAttrs, sum.AttrsSum)
+}
+
+// RenderSuiteSummary prints the closing table and cache accounting.
+func RenderSuiteSummary(w io.Writer, entries []EntryReport, cache gx.CacheStats) {
+	fmt.Fprintf(w, "%-16s%-12s%-12s%-14s%-14s%-7s%s\n",
+		"entry", "engine", "algorithm", "dataset", "time", "iters", "result-sum")
+	for _, rep := range entries {
+		if rep.Err != "" {
+			fmt.Fprintf(w, "%-16s%-12s%-12s%-14serror: %v\n",
+				rep.Name, rep.Scenario.Engine, rep.Scenario.Algorithm, rep.Scenario.Dataset, rep.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%-16s%-12s%-12s%-14s%-14s%-7d%.4f\n",
+			rep.Name, rep.Scenario.Engine, rep.Scenario.Algorithm, rep.Scenario.Dataset,
+			fmt.Sprintf("%.4fs", rep.Summary.Time.Seconds()), rep.Summary.Iterations, rep.Summary.AttrsSum)
+	}
+	fmt.Fprintf(w, "dataset cache: %d graphs loaded (%d hits), %d partitionings built (%d hits)\n",
+		cache.GraphLoads, cache.GraphHits, cache.PartitionBuilds, cache.PartitionHits)
+}
