@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet lint build examples test test-full race race-boundedcache race-suite race-resume race-serve cover fuzz-smoke ci bench bench-ingest bench-serve
+.PHONY: all fmt vet lint build examples test test-full race race-boundedcache race-suite race-resume race-serve cover fuzz-smoke ci bench bench-ingest bench-serve bench-plan
 
 all: ci
 
@@ -67,8 +67,12 @@ race-resume:
 # The serving layer runs one process-wide result cache under concurrent
 # HTTP handlers, stream readers, and the executor worker; keep the gxd
 # end-to-end path and the cache hammer pinned under the race detector.
+# TestStreamDoneRace gets extra -count iterations: the done-event split it
+# regresses against only reproduces under GOMAXPROCS > 1 with the race
+# detector widening the completion window.
 race-serve:
 	GOMAXPROCS=8 $(GO) test -race ./internal/serve ./cmd/gxd
+	GOMAXPROCS=8 $(GO) test -race -run 'TestStreamDoneRace' -count=3 ./internal/serve
 	GOMAXPROCS=8 $(GO) test -race -run 'TestResultCache|TestSuiteResultCache' ./gx
 
 # Per-package coverage summary, gated on the floors recorded in
@@ -118,3 +122,9 @@ bench-ingest:
 # BENCH_serve.json (what a gxd resubmission costs versus a cold run).
 bench-serve:
 	$(GO) test ./gx -run '^$$' -bench BenchmarkResultCacheHit -benchmem | $(GO) run ./cmd/benchjson > BENCH_serve.json
+
+# Record the suite-planner comparison in BENCH_plan.json: predicted vs
+# actual makespans and LPT vs file-order dispatch over a skewed suite
+# (results bit-identical across plans; only packing differs).
+bench-plan:
+	$(GO) run ./cmd/gxbench -exp plan

@@ -84,6 +84,7 @@ func experiments(fig8Datasets []gen.Dataset) []experiment {
 		{"fig15", "Fig 15: block-size sweep and s_opt estimation", func(o harness.Options) (fmt.Stringer, error) {
 			return harness.Fig15(o)
 		}},
+		{"plan", "Planner: LPT vs file-order packing + prediction accuracy (writes BENCH_plan.json)", runPlanExperiment},
 	}
 }
 
@@ -148,6 +149,9 @@ func main() {
 		}
 		if *exp == "all" && e.name == "fig8-orkut" {
 			continue // subsumed by fig8
+		}
+		if *exp == "all" && e.name == "plan" {
+			continue // wall-clock benchmark with a recorded artifact; run explicitly
 		}
 		res, err := e.run(o)
 		if err != nil {

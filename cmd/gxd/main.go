@@ -9,6 +9,7 @@
 //	gxd -addr 127.0.0.1:8080
 //	gxd -addr :8080 -pool 8 -results 4096 -queue 128
 //	gxd -manifest datasets.json
+//	gxd -budget 10s -plan lpt -retain 512
 //
 // Production concerns are the point of the daemon:
 //
@@ -20,6 +21,19 @@
 //     engine supersteps, bit-identically to the original run.
 //   - Bounded admission: -queue caps accepted-but-unstarted jobs; a
 //     full queue rejects with 429 instead of buffering without bound.
+//   - Cost-aware admission: with -budget D, every validated submission
+//     is priced by the gx planner (a dry pass over the calibrated cost
+//     model, no superstep executed) and rejected with 422 plus the
+//     per-entry estimates when the predicted serial virtual cost
+//     exceeds D. Predictions sharpen over the daemon's lifetime: the
+//     planner records predicted-vs-actual makespans per scenario
+//     digest, so repeat shapes are priced from recorded history.
+//   - Scheduled dispatch: -plan lpt runs each job's entries
+//     longest-predicted-first; results stay bit-identical to file
+//     order, only wall-clock packing changes.
+//   - Bounded retention: -retain caps finished jobs kept resident;
+//     older ones are evicted (404) with their event histories.
+//     /v1/healthz reports resident vs evicted counts.
 //   - Graceful shutdown: SIGINT/SIGTERM stops admission (503) and
 //     drains every admitted job before exiting.
 //
@@ -86,6 +100,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) error {
 		pool         = fs.Int("pool", 0, "max suite entries running concurrently per job (0 = GOMAXPROCS)")
 		results      = fs.Int("results", 0, "result-cache capacity in entries (0 = 1024)")
 		queue        = fs.Int("queue", 0, "admission-queue depth; a full queue rejects with 429 (0 = 64)")
+		retain       = fs.Int("retain", 0, "finished jobs kept resident; older ones are evicted and 404 (0 = 256)")
+		budget       = fs.Duration("budget", 0, "admission cost ceiling: reject submissions whose predicted virtual cost exceeds this with 422 (0 = unlimited)")
+		planName     = fs.String("plan", "", "job dispatch order: file | lpt (cost-model longest-predicted-first; results identical)")
 		manifestPath = fs.String("manifest", "", "JSON dataset manifest: logical names -> pinned file: references")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -98,7 +115,14 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) error {
 		return fmt.Errorf("gxd: unexpected arguments: %s", strings.Join(fs.Args(), " "))
 	}
 
-	opts := serve.Options{Pool: *pool, ResultCapacity: *results, QueueDepth: *queue}
+	opts := serve.Options{
+		Pool:           *pool,
+		ResultCapacity: *results,
+		QueueDepth:     *queue,
+		Retention:      *retain,
+		Budget:         *budget,
+		Plan:           gx.Plan(*planName),
+	}
 	if *manifestPath != "" {
 		m, err := gx.LoadManifest(*manifestPath)
 		if err != nil {

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"regexp"
 	"strings"
@@ -172,6 +174,44 @@ func TestGXDManifestFlag(t *testing.T) {
 	}
 }
 
+// TestGXDCostAdmission boots the daemon with an admission budget too low
+// for any real suite (plus -plan and -retain, which must also reach the
+// serving layer) and requires the submission to bounce with 422 and a
+// CostReject body carrying the planner's per-entry estimates.
+func TestGXDCostAdmission(t *testing.T) {
+	addr, _, stop, join := startGXD(t, "-budget", "1ns", "-plan", "lpt", "-retain", "8")
+	body, err := os.ReadFile("../gxrun/testdata/suite-pagerank-mix.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("over-budget submission: HTTP %d", resp.StatusCode)
+	}
+	var rej serve.CostReject
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	if rej.Predicted <= rej.Budget || len(rej.Entries) != 3 {
+		t.Fatalf("reject body %+v", rej)
+	}
+
+	// The thin client reports the same rejection as a 422 error.
+	if _, err := serve.NewClient(addr).Submit(body); err == nil || !strings.Contains(err.Error(), "422") {
+		t.Fatalf("client submit over budget: %v", err)
+	}
+
+	close(stop)
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestGXDBadFlags pins flag and argument failure modes without binding a
 // socket.
 func TestGXDBadFlags(t *testing.T) {
@@ -186,5 +226,11 @@ func TestGXDBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "256.0.0.1:bad"}, io.Discard, io.Discard, nil); err == nil {
 		t.Fatal("bad addr accepted")
+	}
+	if err := run([]string{"-plan", "random"}, io.Discard, io.Discard, nil); err == nil {
+		t.Fatal("unknown plan accepted")
+	}
+	if err := run([]string{"-budget", "-5s"}, io.Discard, io.Discard, nil); err == nil {
+		t.Fatal("negative budget accepted")
 	}
 }

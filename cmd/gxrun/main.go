@@ -13,6 +13,7 @@
 //	gxrun -algo pagerank -dataset file:twitter.gxsnap -nodes 4
 //	gxrun -suite testdata/suite-pagerank-mix.json
 //	gxrun -suite suite.json -pool 8              # bounded run concurrency
+//	gxrun -suite suite.json -plan lpt            # cost-model LPT dispatch
 //	gxrun -scenario crashy.json -checkpoint ckpt # checkpoint every superstep
 //	gxrun -scenario crashy.json -checkpoint ckpt -resume
 //	gxrun -remote 127.0.0.1:8080 -suite suite.json
@@ -36,6 +37,16 @@
 // bit-identical at every pool size. With -progress, per-superstep lines
 // carry their entry name (lines of different entries interleave in
 // completion order when the pool is wider than one).
+//
+// -plan selects the order suite entries are dispatched onto the pool:
+// "file" (the default) or "lpt", which prices every entry with the
+// calibrated cost model — a dry pass over graph stats, no superstep
+// executed — and dispatches longest-predicted-first. The schedule and
+// the predicted makespan print before the run. Dispatch order changes
+// wall-clock time only: per-entry reports, results and virtual times
+// are bit-identical to file order at every pool size (the closing
+// dataset-cache line differs, since the planner's dry pass warms the
+// cache the run then hits).
 //
 // -cachecap bounds each agent's synchronization cache to that many rows
 // (0 = the node's full vertex table); it models memory-constrained
@@ -112,6 +123,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scenarioPath = fs.String("scenario", "", "JSON scenario file (overrides the per-field flags)")
 		suitePath    = fs.String("suite", "", "JSON suite file: run every entry (excludes -scenario and the per-field flags)")
 		pool         = fs.Int("pool", 0, "max suite entries running concurrently (0 = GOMAXPROCS); results are identical at every size")
+		planName     = fs.String("plan", "", "suite dispatch order: file | lpt; lpt runs longest-predicted-first off the cost model and prints the schedule (results are identical under every plan)")
 		engineName   = fs.String("engine", "powergraph", "engine: "+strings.Join(gx.Engines(), " | "))
 		algoName     = fs.String("algo", "pagerank", "algorithm: "+strings.Join(gx.Algorithms(), " | "))
 		dataset      = fs.String("dataset", "orkut", "dataset: "+strings.Join(gx.Datasets(), " | ")+" | file[+snapshot|+edgelist]:PATH")
@@ -178,7 +190,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "suite", "pool", "progress", "manifest":
+			case "suite", "pool", "plan", "progress", "manifest":
 			default:
 				conflicts = append(conflicts, "-"+f.Name)
 			}
@@ -187,14 +199,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("gxrun: -suite cannot be combined with %s (suite entries carry their own scenarios)",
 				strings.Join(conflicts, ", "))
 		}
-		return runSuite(*suitePath, *pool, manifest, *progress, stdout)
+		return runSuite(*suitePath, *pool, gx.Plan(*planName), manifest, *progress, stdout)
 	}
-	// The mirror-image hole: -pool configures suite concurrency only, so
-	// setting it without -suite would be silently dead.
-	poolSet := false
-	fs.Visit(func(f *flag.Flag) { poolSet = poolSet || f.Name == "pool" })
+	// The mirror-image hole: -pool and -plan configure suite execution
+	// only, so setting either without -suite would be silently dead.
+	poolSet, planSet := false, false
+	fs.Visit(func(f *flag.Flag) {
+		poolSet = poolSet || f.Name == "pool"
+		planSet = planSet || f.Name == "plan"
+	})
 	if poolSet {
 		return errors.New("gxrun: -pool requires -suite (single runs have no entry concurrency)")
+	}
+	if planSet {
+		return errors.New("gxrun: -plan requires -suite (single runs have no dispatch order)")
 	}
 	// Likewise -every and -resume qualify -checkpoint and are dead without it.
 	if *ckptDir == "" {
@@ -336,7 +354,7 @@ func (rt *robustnessTotals) add(st gx.Superstep) {
 // function of the suite file, so output is bit-identical at every pool
 // size. Rendering lives in internal/serve, shared with -remote, which is
 // what makes a remote run's report byte-identical to this local one.
-func runSuite(path string, pool int, manifest gx.Manifest, progress bool, stdout io.Writer) error {
+func runSuite(path string, pool int, plan gx.Plan, manifest gx.Manifest, progress bool, stdout io.Writer) error {
 	suite, err := gx.LoadSuite(path)
 	if err != nil {
 		return err
@@ -351,6 +369,29 @@ func runSuite(path string, pool int, manifest gx.Manifest, progress bool, stdout
 		name = path
 	}
 	n := len(suite.Entries)
+
+	// The plan block renders ahead of the suite header so the suite
+	// report proper stays a contiguous block, comparable line-for-line
+	// with an unplanned run.
+	var planOpts []gx.SuiteOption
+	if plan != "" {
+		if plan != gx.FileOrder && plan != gx.LPT {
+			return fmt.Errorf("gxrun: unknown -plan %q (want %q or %q)", plan, gx.FileOrder, gx.LPT)
+		}
+		// The planner shares the suite's dataset cache: its dry pass loads
+		// each graph/partitioning once and the run reuses the instances,
+		// so planning costs no duplicate work (the closing cache line
+		// reports the planner's loads as extra hits).
+		cache := gx.NewDatasetCache()
+		planner := gx.NewPlanner(cache, nil)
+		sp, err := planner.PlanSuite(suite, pool)
+		if err != nil {
+			return err
+		}
+		renderPlan(stdout, plan, suite, sp)
+		planOpts = []gx.SuiteOption{gx.WithCache(cache), gx.WithPlanner(planner), gx.WithPlan(plan)}
+	}
+
 	fmt.Fprintf(stdout, "suite %s: %d entries\n", name, n)
 
 	printed := 0
@@ -360,6 +401,7 @@ func runSuite(path string, pool int, manifest gx.Manifest, progress bool, stdout
 			serve.RenderEntry(stdout, printed, n, serve.ReportOf(er))
 		}),
 	}
+	opts = append(opts, planOpts...)
 	if pool != 0 { // 0 keeps RunSuite's GOMAXPROCS default; negatives surface its validation error
 		opts = append(opts, gx.WithPool(pool))
 	}
@@ -382,6 +424,32 @@ func runSuite(path string, pool int, manifest gx.Manifest, progress bool, stdout
 		return fmt.Errorf("gxrun: %d of %d suite entries failed", failed, n)
 	}
 	return nil
+}
+
+// renderPlan prints the cost-model schedule for a -plan suite run: the
+// per-entry predictions in dispatch order, then the predicted pool
+// makespan. Everything here is a deterministic function of the suite
+// file (virtual durations from the calibrated model — no wall clock).
+func renderPlan(w io.Writer, plan gx.Plan, suite gx.Suite, sp *gx.SuitePlan) {
+	fmt.Fprintf(w, "plan %s: %d entries priced by the cost model\n", plan, len(sp.Entries))
+	order := sp.Order
+	if plan != gx.LPT {
+		order = nil
+		for i := range sp.Entries {
+			order = append(order, i)
+		}
+	}
+	for rank, idx := range order {
+		ee := sp.Entries[idx]
+		if ee.Err != "" {
+			fmt.Fprintf(w, "  %2d. %-14s unpriced (%s)\n", rank+1, ee.Name, ee.Err)
+			continue
+		}
+		fmt.Fprintf(w, "  %2d. %-14s predicted %v (%d supersteps, %.0f entities)\n",
+			rank+1, ee.Name, ee.Makespan, ee.Supersteps, ee.Entities)
+	}
+	fmt.Fprintf(w, "  predicted: serial %v, makespan %v on pool %d\n",
+		sp.PredictedSerial, sp.PredictedMakespan, sp.Pool)
 }
 
 // renderProgress prints one suite -progress line; the remote stream path

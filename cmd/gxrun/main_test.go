@@ -133,6 +133,59 @@ func TestSuiteFlagConflicts(t *testing.T) {
 	}
 }
 
+// TestSuitePlanLPT: -plan lpt prints the cost-model schedule, then runs
+// the suite with a report bit-identical to the unplanned run — the plan
+// reorders dispatch, never results. Only the closing dataset-cache
+// accounting may differ, because the planner's dry pass warms the cache.
+func TestSuitePlanLPT(t *testing.T) {
+	var plain, planned bytes.Buffer
+	if err := run([]string{"-suite", "testdata/suite-pagerank-mix.json", "-pool", "1"}, &plain, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-suite", "testdata/suite-pagerank-mix.json", "-pool", "4", "-plan", "lpt"}, &planned, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	out := planned.String()
+	for _, want := range []string{
+		"plan lpt: 3 entries priced by the cost model",
+		"predicted: serial ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plan block missing %q:\n%s", want, out)
+		}
+	}
+	idx := strings.Index(out, "suite pagerank-mix")
+	if idx < 0 {
+		t.Fatalf("suite report missing after plan block:\n%s", out)
+	}
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.Contains(line, "dataset cache:") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(out[idx:]) != strip(plain.String()) {
+		t.Fatalf("planned report differs beyond cache accounting:\n--- planned\n%s--- plain\n%s",
+			out[idx:], plain.String())
+	}
+}
+
+// TestPlanFlagConflicts: -plan qualifies -suite and must name a known
+// plan.
+func TestPlanFlagConflicts(t *testing.T) {
+	err := run([]string{"-algo", "pagerank", "-plan", "lpt"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-plan requires -suite") {
+		t.Fatalf("dead -plan accepted without -suite: %v", err)
+	}
+	err = run([]string{"-suite", "testdata/suite-pagerank-mix.json", "-plan", "sjf"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown -plan") {
+		t.Fatalf("unknown plan accepted: %v", err)
+	}
+}
+
 // TestSuiteProgressStreamsEntries: -progress in suite mode prefixes each
 // superstep line with its entry name, at pool 1 and — with lines of
 // different entries interleaving but every callback serialized against

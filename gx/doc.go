@@ -89,6 +89,25 @@
 // `#sha256=`-pinned file references, resolved before validation, so
 // scenarios can say what a dataset is rather than where it lives.
 //
+// The same cost model the engines charge their virtual clocks with can
+// be consulted before running anything: a [Planner] prices a scenario
+// with a dry pass — datasets load through the shared [DatasetCache],
+// but no superstep executes — returning a [CostEstimate] (predicted
+// virtual makespan, superstep count, work volume), and
+// [Planner.PlanSuite] prices a whole suite into a [SuitePlan]: per-entry
+// estimates, an LPT (longest-predicted-first) dispatch order, and the
+// predicted pool makespan. [WithPlan] ([LPT]) makes RunSuite dispatch in
+// that order, which packs the worker pool tighter when entry costs are
+// skewed; results, goldens, and [WithEntryDone] emission order stay
+// bit-identical to file order at every pool size — a plan changes
+// wall-clock packing, never output. A planner carrying [PlannerStats]
+// refines itself from history: each finished entry records
+// predicted-vs-actual makespan under the scenario's digest, repeat
+// scenarios are priced from the recorded actuals, and novel ones are
+// scaled by the accumulated ratio (`gxrun -suite file.json -plan lpt`
+// prints the schedule; `gxbench -exp plan` records the comparison; the
+// gxd daemon prices submissions for cost-aware admission).
+//
 // Robustness is part of the same vocabulary. A scenario's Faults field
 // schedules deterministic middleware faults ([FaultSpec]: daemon-crash,
 // msg-stall, accel-oom at a fixed node and superstep); recoverable ones

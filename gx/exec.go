@@ -3,6 +3,7 @@ package gx
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // executor is the shared execution core every consumer funnels suite
@@ -29,6 +30,10 @@ type executor struct {
 	// obs and done are the caller's streaming hooks; both serialized.
 	obs  func(entry string, st Superstep)
 	done func(EntryResult)
+	// plan selects dispatch order; planner prices entries for LPT and —
+	// when it carries stats — receives predicted-vs-actual feedback.
+	plan    Plan
+	planner *Planner
 }
 
 // execute runs the defaults-applied entries on the bounded pool and
@@ -39,6 +44,12 @@ type executor struct {
 func (x *executor) execute(entries []SuiteEntry) []EntryResult {
 	n := len(entries)
 	results := make([]EntryResult, n)
+
+	// Dispatch order. File order is the identity; LPT dispatches by
+	// descending predicted makespan. Only the order workers *pick up*
+	// entries changes — results land by entry index and the done stream
+	// below emits in entry order either way.
+	order, predicted := x.schedule(entries)
 
 	// cbMu serializes every user callback — the per-superstep observer
 	// and the entry-done stream — across concurrently running entries.
@@ -58,11 +69,16 @@ func (x *executor) execute(entries []SuiteEntry) []EntryResult {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1))
-				if i >= n {
+				slot := int(next.Add(1))
+				if slot >= n {
 					return
 				}
+				i := slot
+				if order != nil {
+					i = order[slot]
+				}
 				results[i] = x.runEntry(entries[i], &cbMu)
+				x.observe(entries[i].Scenario, predicted[i], results[i])
 				if x.done == nil {
 					continue
 				}
@@ -78,6 +94,45 @@ func (x *executor) execute(entries []SuiteEntry) []EntryResult {
 	}
 	wg.Wait()
 	return results
+}
+
+// schedule prices the entries when a planner is attached and returns the
+// dispatch order (nil for file order) plus the per-entry predictions the
+// feedback loop pairs with actuals. Estimation runs serially before the
+// pool starts — it is a dry pass over graph stats, orders of magnitude
+// cheaper than any entry — and an entry whose estimate fails costs zero,
+// sorting last deterministically (the run itself will surface the error
+// with full context).
+func (x *executor) schedule(entries []SuiteEntry) (order []int, predicted []time.Duration) {
+	predicted = make([]time.Duration, len(entries))
+	if x.planner == nil {
+		return nil, predicted
+	}
+	for i, e := range entries {
+		if est, err := x.planner.Estimate(e.Scenario); err == nil {
+			predicted[i] = est.Makespan
+		}
+	}
+	if x.plan != LPT {
+		return nil, predicted
+	}
+	return lptOrder(predicted), predicted
+}
+
+// observe feeds one freshly executed entry's predicted-vs-actual virtual
+// makespan into the planner's history. Cache hits ran nothing and failed
+// entries have no makespan; both are skipped, as are entries the planner
+// could not price (predicted zero carries no signal).
+func (x *executor) observe(s Scenario, predicted time.Duration, er EntryResult) {
+	if x.planner == nil || x.planner.stats == nil {
+		return
+	}
+	if er.Err != nil || er.CacheHit || predicted <= 0 {
+		return
+	}
+	if key, ok := scenarioKey(x.cache, s); ok {
+		x.planner.stats.Observe(key, predicted, er.Summary.Time)
+	}
 }
 
 // runEntry executes one defaults-applied entry against the shared
@@ -128,28 +183,14 @@ func (x *executor) runEntry(e SuiteEntry, cbMu *sync.Mutex) (er EntryResult) {
 	return er
 }
 
-// resultKey derives the result-cache key of a declarative scenario: the
-// canonical [Scenario.Digest], with `file:` datasets folding in the
-// file's current content digest (the same memoized pass [DatasetCache]
-// loads through) so a rewritten file can never hit a stale entry.
-// cacheable is false when no result cache is attached or the key cannot
-// be computed — the entry then just runs.
+// resultKey derives the result-cache key of a declarative scenario —
+// [scenarioKey], the same identity the planner memoizes and records
+// history under. cacheable is false when no result cache is attached or
+// the key cannot be computed (an unreadable `file:` dataset, say); the
+// entry then just runs and surfaces any failure with full context.
 func (x *executor) resultKey(s Scenario) (key string, cacheable bool) {
 	if x.results == nil {
 		return "", false
 	}
-	d, err := s.Digest()
-	if err != nil {
-		return "", false
-	}
-	sha, ok, err := x.cache.contentSHA(s.Dataset)
-	if err != nil {
-		// The load will surface the same failure with full context;
-		// don't cache under a key we could not pin to file content.
-		return "", false
-	}
-	if ok {
-		return d + "+sha256:" + sha, true
-	}
-	return d, true
+	return scenarioKey(x.cache, s)
 }

@@ -215,6 +215,8 @@ type suiteConfig struct {
 	results *ResultCache
 	obs     func(entry string, st Superstep)
 	done    func(EntryResult)
+	plan    Plan
+	planner *Planner
 }
 
 // SuiteOption configures RunSuite.
@@ -255,6 +257,22 @@ func WithSuiteObserver(fn func(entry string, st Superstep)) SuiteOption {
 	return func(c *suiteConfig) { c.obs = fn }
 }
 
+// WithPlan selects the dispatch order ([FileOrder] or [LPT]). LPT prices
+// every entry with a [Planner] before the pool starts and dispatches
+// longest-predicted-first, which packs the pool tighter on mixed suites.
+// The plan changes wall-clock time only: entry-done emission, per-entry
+// results and virtual times stay bit-identical to file order at every
+// pool size.
+func WithPlan(p Plan) SuiteOption { return func(c *suiteConfig) { c.plan = p } }
+
+// WithPlanner runs the suite against an existing [Planner] instead of a
+// private one: its memoized estimates order LPT dispatch, and — when the
+// planner carries a [PlannerStats] — every freshly executed entry feeds
+// its predicted-vs-actual makespan back, so repeat shapes are re-priced
+// from history. Attaching a planner without [WithPlan] keeps file-order
+// dispatch but still records history.
+func WithPlanner(p *Planner) SuiteOption { return func(c *suiteConfig) { c.planner = p } }
+
 // WithEntryDone streams per-entry results as they are finalized. The
 // callback is serialized against itself and the WithSuiteObserver
 // callback, and always invoked in suite order — entry i is reported
@@ -287,6 +305,9 @@ func RunSuite(suite Suite, opts ...SuiteOption) (*SuiteResult, error) {
 	if cfg.pool < 1 {
 		return nil, fmt.Errorf("gx: suite pool %d (want ≥ 1)", cfg.pool)
 	}
+	if !cfg.plan.valid() {
+		return nil, fmt.Errorf("gx: unknown plan %q (want %q or %q)", cfg.plan, FileOrder, LPT)
+	}
 	suite = suite.WithDefaults()
 	if err := suite.Validate(); err != nil {
 		return nil, err
@@ -295,6 +316,10 @@ func RunSuite(suite Suite, opts ...SuiteOption) (*SuiteResult, error) {
 	if cache == nil {
 		cache = NewDatasetCache()
 	}
+	planner := cfg.planner
+	if planner == nil && cfg.plan == LPT {
+		planner = NewPlanner(cache, nil)
+	}
 
 	x := &executor{
 		pool:    cfg.pool,
@@ -302,6 +327,8 @@ func RunSuite(suite Suite, opts ...SuiteOption) (*SuiteResult, error) {
 		results: cfg.results,
 		obs:     cfg.obs,
 		done:    cfg.done,
+		plan:    cfg.plan,
+		planner: planner,
 	}
 	return &SuiteResult{Name: suite.Name, Entries: x.execute(suite.Entries), Cache: cache.Stats()}, nil
 }

@@ -6,9 +6,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
+)
+
+// Client timeouts. Bounded calls (submit, status, result without wait)
+// answer from in-memory state and must fail fast against a dead or
+// wedged daemon instead of hanging gxrun -remote forever; open-ended
+// calls (stream, result?wait=1) legitimately block for a job's whole
+// runtime, so they bound only the TCP connect.
+const (
+	clientTimeout     = 30 * time.Second
+	clientDialTimeout = 10 * time.Second
 )
 
 // Client is the thin HTTP client behind `gxrun -remote` and the tests:
@@ -16,7 +28,10 @@ import (
 // result. The zero value is not usable; call NewClient.
 type Client struct {
 	base string
-	http *http.Client
+	// short bounds whole requests that answer from in-memory state;
+	// long bounds only the connect, for requests that follow a job.
+	short *http.Client
+	long  *http.Client
 }
 
 // NewClient returns a client for a gxd daemon at addr. A bare
@@ -25,14 +40,19 @@ func NewClient(addr string) *Client {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	return &Client{base: strings.TrimRight(addr, "/"), http: http.DefaultClient}
+	dial := (&net.Dialer{Timeout: clientDialTimeout}).DialContext
+	return &Client{
+		base:  strings.TrimRight(addr, "/"),
+		short: &http.Client{Timeout: clientTimeout, Transport: &http.Transport{DialContext: dial}},
+		long:  &http.Client{Transport: &http.Transport{DialContext: dial}},
+	}
 }
 
 // Submit posts a raw scenario or suite JSON body and returns the
 // admitted job's id. Rejections (queue full, draining, invalid input)
 // come back as errors carrying the daemon's message.
 func (c *Client) Submit(body []byte) (SubmitReply, error) {
-	resp, err := c.http.Post(c.base+"/v1/submit", "application/json", bytes.NewReader(body))
+	resp, err := c.short.Post(c.base+"/v1/submit", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return SubmitReply{}, fmt.Errorf("serve: submit: %w", err)
 	}
@@ -51,7 +71,7 @@ func (c *Client) Submit(body []byte) (SubmitReply, error) {
 // invoking fn for every event until the terminal "done" event (after
 // which it returns nil) or fn returns an error (propagated).
 func (c *Client) Stream(id string, fn func(Event) error) error {
-	resp, err := c.http.Get(c.base + "/v1/stream?id=" + url.QueryEscape(id))
+	resp, err := c.long.Get(c.base + "/v1/stream?id=" + url.QueryEscape(id))
 	if err != nil {
 		return fmt.Errorf("serve: stream: %w", err)
 	}
@@ -83,10 +103,14 @@ func (c *Client) Stream(id string, fn func(Event) error) error {
 // finishes when wait is true.
 func (c *Client) Result(id string, wait bool) (JobResult, error) {
 	u := c.base + "/v1/result?id=" + url.QueryEscape(id)
+	h := c.short
 	if wait {
+		// The server blocks until the job finishes; an overall timeout
+		// would sever legitimate long waits.
+		h = c.long
 		u += "&wait=1"
 	}
-	resp, err := c.http.Get(u)
+	resp, err := h.Get(u)
 	if err != nil {
 		return JobResult{}, fmt.Errorf("serve: result: %w", err)
 	}
@@ -103,7 +127,7 @@ func (c *Client) Result(id string, wait bool) (JobResult, error) {
 
 // Status fetches a job's progress snapshot.
 func (c *Client) Status(id string) (Status, error) {
-	resp, err := c.http.Get(c.base + "/v1/status?id=" + url.QueryEscape(id))
+	resp, err := c.short.Get(c.base + "/v1/status?id=" + url.QueryEscape(id))
 	if err != nil {
 		return Status{}, fmt.Errorf("serve: status: %w", err)
 	}

@@ -8,7 +8,9 @@
 //
 //	POST /v1/submit   scenario or suite JSON body → SubmitReply (202);
 //	                  429 when the admission queue is full, 503 when
-//	                  draining, 400/422 on malformed or invalid input.
+//	                  draining, 400/422 on malformed or invalid input,
+//	                  and 422 with a CostReject body when a configured
+//	                  admission budget prices the submission out.
 //	GET  /v1/status   ?id=JOB → Status.
 //	GET  /v1/result   ?id=JOB[&wait=1] → JobResult; without wait, 409
 //	                  until the job is done.
@@ -24,6 +26,8 @@
 package serve
 
 import (
+	"time"
+
 	"gxplug/gx"
 )
 
@@ -118,8 +122,25 @@ type Event struct {
 // Health is the healthz payload: liveness plus the process-wide cache
 // counters a load balancer or test wants to see.
 type Health struct {
-	OK      bool                `json:"ok"`
-	Jobs    int                 `json:"jobs"`
+	OK   bool `json:"ok"`
+	Jobs int  `json:"jobs"`
+	// Evicted counts finished jobs released by the retention bound over
+	// the server's lifetime; Jobs counts the resident remainder.
+	Evicted int                 `json:"evicted"`
 	Cache   gx.CacheStats       `json:"cache"`
 	Results gx.ResultCacheStats `json:"results"`
+}
+
+// CostReject is the 422 body of a submission priced out by the admission
+// budget: the planner's per-entry estimates and the predicted serial
+// virtual cost that exceeded the configured ceiling. The client can
+// split the suite, shrink the scenarios, or resubmit elsewhere.
+type CostReject struct {
+	Error string `json:"error"`
+	// Predicted is the summed predicted virtual makespan of all entries.
+	Predicted time.Duration `json:"predicted"`
+	// Budget is the server's configured admission ceiling.
+	Budget time.Duration `json:"budget"`
+	// Entries holds the planner's per-entry estimates, in suite order.
+	Entries []gx.EntryEstimate `json:"entries"`
 }

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 
 	"gxplug/gx"
@@ -206,19 +207,26 @@ func TestServeRejections(t *testing.T) {
 	}
 }
 
-// TestServeQueueBound fills the admission queue behind a slow job and
-// expects 429, not unbounded buffering.
+// TestServeQueueBound fills the admission queue behind a busy worker and
+// expects 429, not unbounded buffering. The worker is held deterministically
+// — it blocks on a gate job's mutex inside runJob until the test releases
+// it — so the test never races real submissions against job runtime.
 func TestServeQueueBound(t *testing.T) {
-	_, client := startServer(t, Options{Pool: 1, QueueDepth: 1})
+	srv, client := startServer(t, Options{Pool: 1, QueueDepth: 1})
 
-	// First job occupies the worker (or the queue slot) long enough for
-	// the flood below; depth 1 means at most one more job waits.
-	busy := `{"engine": "powergraph", "algorithm": "pagerank", "dataset": "orkut", "scale": 4000, "nodes": 4, "accel": "gpu", "maxiter": 10}`
-	if _, err := client.Submit([]byte(busy)); err != nil {
-		t.Fatal(err)
-	}
+	// The worker's first action on a job is setState, which takes j.mu;
+	// holding it pins the worker inside runJob for as long as we like.
+	gate := &job{id: "gate", state: StateQueued}
+	gate.cond = sync.NewCond(&gate.mu)
+	gate.mu.Lock()
+	srv.queue <- gate
+	defer gate.mu.Unlock() // release before Drain in cleanup
+
+	// Depth 1 and a pinned worker: at most one submission is buffered
+	// (fewer if the worker has not yet pulled the gate), so the second
+	// must see 429.
 	saw429 := false
-	for i := 0; i < 20 && !saw429; i++ {
+	for i := 0; i < 2 && !saw429; i++ {
 		body := fmt.Sprintf(`{"engine": "graphx", "algorithm": "cc", "dataset": "orkut", "scale": 20000, "seed": %d, "nodes": 1}`, i)
 		if _, err := client.Submit([]byte(body)); err != nil {
 			if !strings.Contains(err.Error(), "429") {

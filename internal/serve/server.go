@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 
 	"gxplug/gx"
 )
@@ -21,6 +23,21 @@ type Options struct {
 	// QueueDepth bounds the admission queue — jobs accepted but not yet
 	// running (0 = 64). A full queue rejects submissions with 429.
 	QueueDepth int
+	// Retention bounds how many finished jobs stay resident (0 = 256).
+	// Past the bound the oldest finished job is evicted — its id 404s and
+	// its event history is released; running and queued jobs never
+	// evict. Event histories are kept until eviction, so streams of any
+	// resident job replay in full.
+	Retention int
+	// Budget, when positive, is the admission cost ceiling: a submission
+	// whose planner-predicted serial virtual cost exceeds it is rejected
+	// with 422 and a [CostReject] body carrying the estimate, before the
+	// job consumes a queue slot. Zero admits everything unpriced.
+	Budget time.Duration
+	// Plan selects the dispatch order jobs run under ("" = file order,
+	// gx.LPT = longest-predicted-first). Results are bit-identical either
+	// way; LPT packs the entry pool tighter on mixed suites.
+	Plan gx.Plan
 	// Manifest, when non-empty, resolves logical dataset names in every
 	// submission before validation.
 	Manifest gx.Manifest
@@ -43,10 +60,24 @@ type Server struct {
 	mf      gx.Manifest
 	mux     *http.ServeMux
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	seq      int
-	draining bool
+	// planner prices submissions for cost-aware admission and orders
+	// LPT dispatch; nil unless Options enabled either (so a default
+	// server's cache accounting is byte-identical to the pre-planner
+	// daemon). Its stats record predicted-vs-actual makespans across
+	// jobs, so repeat submissions are priced from history.
+	planner *gx.Planner
+	plan    gx.Plan
+	budget  time.Duration
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	seq       int
+	draining  bool
+	retention int
+	// doneOrder tracks finished jobs FIFO for retention eviction;
+	// evicted counts jobs released over the server's lifetime.
+	doneOrder []string
+	evicted   int
 
 	queue   chan *job
 	workers sync.WaitGroup
@@ -95,13 +126,36 @@ func New(opts Options) (*Server, error) {
 	if depth < 1 {
 		return nil, fmt.Errorf("serve: queue depth %d (want ≥ 1)", depth)
 	}
+	retention := opts.Retention
+	if retention == 0 {
+		retention = 256
+	}
+	if retention < 1 {
+		return nil, fmt.Errorf("serve: retention %d (want ≥ 1)", retention)
+	}
+	if opts.Budget < 0 {
+		return nil, fmt.Errorf("serve: budget %v (want ≥ 0)", opts.Budget)
+	}
+	if p := opts.Plan; p != "" && p != gx.FileOrder && p != gx.LPT {
+		return nil, fmt.Errorf("serve: unknown plan %q (want %q or %q)", p, gx.FileOrder, gx.LPT)
+	}
 	s := &Server{
-		pool:    pool,
-		cache:   gx.NewDatasetCache(),
-		results: results,
-		mf:      opts.Manifest,
-		jobs:    make(map[string]*job),
-		queue:   make(chan *job, depth),
+		pool:      pool,
+		cache:     gx.NewDatasetCache(),
+		results:   results,
+		mf:        opts.Manifest,
+		plan:      opts.Plan,
+		budget:    opts.Budget,
+		retention: retention,
+		jobs:      make(map[string]*job),
+		queue:     make(chan *job, depth),
+	}
+	if s.plan == gx.LPT || s.budget > 0 {
+		stats, err := gx.NewPlannerStats(0)
+		if err != nil {
+			return nil, err
+		}
+		s.planner = gx.NewPlanner(s.cache, stats)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/submit", s.handleSubmit)
@@ -143,7 +197,7 @@ func (s *Server) worker() {
 // serialized callbacks into the job's event stream.
 func (s *Server) runJob(j *job) {
 	j.setState(StateRunning)
-	res, err := gx.RunSuite(j.suite,
+	opts := []gx.SuiteOption{
 		gx.WithPool(s.pool),
 		gx.WithCache(s.cache),
 		gx.WithResultCache(s.results),
@@ -160,7 +214,14 @@ func (s *Server) runJob(j *job) {
 			j.mu.Unlock()
 			j.append(Event{Type: "entry", Report: &rep})
 		}),
-	)
+	}
+	if s.planner != nil {
+		// The process-wide planner dispatches the job (LPT when
+		// configured) and records its predicted-vs-actual makespans, so
+		// admission pricing of repeat submissions sharpens over time.
+		opts = append(opts, gx.WithPlanner(s.planner), gx.WithPlan(s.plan))
+	}
+	res, err := gx.RunSuite(j.suite, opts...)
 
 	jr := &JobResult{ID: j.id, Suite: j.suite.Name}
 	if err != nil {
@@ -181,12 +242,35 @@ func (s *Server) runJob(j *job) {
 	}
 	jr.Results = s.results.Stats()
 
+	// Completion is one critical section: the done state, the result, and
+	// the terminal "done" event become visible atomically. Splitting them
+	// (state first, event in a second lock hold) opens a race where a
+	// stream reader observes state == done with the history drained and
+	// finishes without ever seeing the done event.
 	j.mu.Lock()
 	jr.Supersteps = j.supersteps
 	j.result = jr
 	j.state = StateDone
+	j.events = append(j.events, Event{Type: "done", Result: jr})
+	j.cond.Broadcast()
 	j.mu.Unlock()
-	j.append(Event{Type: "done", Result: jr})
+
+	s.finishJob(j.id)
+}
+
+// finishJob records a completed job for FIFO retention and evicts the
+// oldest finished jobs past the bound. Evicted ids 404; their event
+// histories are released with them.
+func (s *Server) finishJob(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doneOrder = append(s.doneOrder, id)
+	for len(s.doneOrder) > s.retention {
+		oldest := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		delete(s.jobs, oldest)
+		s.evicted++
+	}
 }
 
 func (j *job) setState(state string) {
@@ -229,6 +313,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	if rejected := s.admitCost(w, suite); rejected {
+		return
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -253,6 +340,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, SubmitReply{ID: j.id, State: StateQueued})
+}
+
+// admitCost enforces the configured admission budget: the planner prices
+// the validated suite (a dry pass over graph stats — no supersteps), and
+// a predicted serial virtual cost above the budget is rejected with 422
+// and the full estimate, before the job takes a queue slot. A failed
+// estimate admits — the budget is a guard against knowably huge jobs,
+// not a second validator — as does an unconfigured budget.
+func (s *Server) admitCost(w http.ResponseWriter, suite gx.Suite) (rejected bool) {
+	if s.budget <= 0 || s.planner == nil {
+		return false
+	}
+	plan, err := s.planner.PlanSuite(suite, s.pool)
+	if err != nil || plan.PredictedSerial <= s.budget {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusUnprocessableEntity)
+	writeJSON(w, CostReject{
+		Error:     fmt.Sprintf("serve: predicted cost %v exceeds budget %v", plan.PredictedSerial, s.budget),
+		Predicted: plan.PredictedSerial,
+		Budget:    s.budget,
+		Entries:   plan.Entries,
+	})
+	return true
 }
 
 // parseSubmission accepts either a suite (preferred) or a bare scenario,
@@ -312,12 +424,19 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wait := r.URL.Query().Get("wait") != ""
+	ctx := r.Context()
+	if wait {
+		defer watchDisconnect(ctx, j)()
+	}
 	j.mu.Lock()
-	for wait && j.state != StateDone {
+	for wait && j.state != StateDone && ctx.Err() == nil {
 		j.cond.Wait()
 	}
 	res := j.result
 	j.mu.Unlock()
+	if ctx.Err() != nil {
+		return // client went away while waiting
+	}
 	if res == nil {
 		httpError(w, http.StatusConflict, "serve: job %s not done (pass wait=1 to block)", j.id)
 		return
@@ -339,10 +458,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	defer watchDisconnect(ctx, j)()
 	i := 0
 	for {
 		j.mu.Lock()
-		for i >= len(j.events) && j.state != StateDone {
+		for i >= len(j.events) && j.state != StateDone && ctx.Err() == nil {
 			j.cond.Wait()
 		}
 		batch := j.events[i:len(j.events):len(j.events)]
@@ -351,6 +472,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		// complete once the job is done and the history is drained.
 		finished := j.state == StateDone && i >= len(j.events)
 		j.mu.Unlock()
+		if ctx.Err() != nil {
+			return // client went away; stop following and free the goroutine
+		}
 		for _, ev := range batch {
 			if err := enc.Encode(ev); err != nil {
 				return // client went away
@@ -365,12 +489,27 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// watchDisconnect wakes the job's cond waiters when ctx is canceled —
+// an abandoned stream or result?wait=1 request would otherwise park its
+// handler goroutine on the cond until the job finishes (forever, for a
+// long job). The broadcast holds j.mu so a waiter between its condition
+// check and Wait cannot miss it. The returned stop func releases the
+// watcher; call it when the handler returns.
+func watchDisconnect(ctx context.Context, j *job) (stop func()) {
+	cancel := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	return func() { cancel() }
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	n := len(s.jobs)
+	n, evicted := len(s.jobs), s.evicted
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, Health{OK: true, Jobs: n, Cache: s.cache.Stats(), Results: s.results.Stats()})
+	writeJSON(w, Health{OK: true, Jobs: n, Evicted: evicted, Cache: s.cache.Stats(), Results: s.results.Stats()})
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
