@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet lint build examples test test-full race race-boundedcache race-suite race-resume race-serve cover fuzz-smoke ci bench bench-ingest bench-serve bench-plan
+.PHONY: all fmt vet lint build examples test test-full race race-boundedcache race-suite race-resume race-serve race-dynamic cover fuzz-smoke ci bench bench-ingest bench-serve bench-plan bench-dynamic
 
 all: ci
 
@@ -75,6 +75,14 @@ race-serve:
 	GOMAXPROCS=8 $(GO) test -race -run 'TestStreamDoneRace' -count=3 ./internal/serve
 	GOMAXPROCS=8 $(GO) test -race -run 'TestResultCache|TestSuiteResultCache' ./gx
 
+# The dynamic-graph acceptance pin: incremental recomputation over a
+# batch stream is bit-identical to from-scratch at every batch boundary
+# (attrs digests, iteration counts) and never slower on the virtual
+# clock, on both engines, for pagerank and cc, at pool sizes 1/2/4 —
+# with the trajectory-replay machinery under the race detector.
+race-dynamic:
+	GOMAXPROCS=8 $(GO) test -race -run 'TestDynamicConformance' ./gx
+
 # Per-package coverage summary, gated on the floors recorded in
 # COVERAGE_baseline.txt for the public API and the engine core. The test
 # run's own status is checked before the floors: a failing suite fails
@@ -105,8 +113,9 @@ fuzz-smoke:
 	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzSnapshotDecodeNoPanic$$' -fuzztime=10s
 	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzSnapshotV2DecodeNoPanic$$' -fuzztime=10s
 	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzEdgeListParse$$' -fuzztime=10s
+	$(GO) test ./internal/gen/ingest -run '^$$' -fuzz '^FuzzBatchDecodeNoPanic$$' -fuzztime=10s
 
-ci: fmt lint build examples race race-boundedcache race-suite race-resume race-serve cover fuzz-smoke
+ci: fmt lint build examples race race-boundedcache race-suite race-resume race-serve race-dynamic cover fuzz-smoke
 
 # Record the engine superstep microbenchmarks (latency + allocs) in
 # BENCH_engine.json.
@@ -122,6 +131,13 @@ bench-ingest:
 # BENCH_serve.json (what a gxd resubmission costs versus a cold run).
 bench-serve:
 	$(GO) test ./gx -run '^$$' -bench BenchmarkResultCacheHit -benchmem | $(GO) run ./cmd/benchjson > BENCH_serve.json
+
+# Record the incremental-vs-scratch comparison over a batch stream in
+# BENCH_dynamic.json: identical results at every boundary, but the
+# incremental replay re-runs supersteps only over the dirty cone, so its
+# virtual makespan (and wall time) stays strictly below from-scratch.
+bench-dynamic:
+	$(GO) test ./gx -run '^$$' -bench BenchmarkDynamic -benchmem | $(GO) run ./cmd/benchjson > BENCH_dynamic.json
 
 # Record the suite-planner comparison in BENCH_plan.json: predicted vs
 # actual makespans and LPT vs file-order dispatch over a skewed suite

@@ -19,6 +19,10 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// VirtualNsPerOp records the b.ReportMetric "virtual-ns/op" custom
+	// metric — the simulated makespan benchmarks charge to the virtual
+	// clock, the number the dynamic-graph comparison is actually about.
+	VirtualNsPerOp float64 `json:"virtual_ns_per_op,omitempty"`
 }
 
 // Report is the emitted document.
@@ -76,15 +80,17 @@ func parseLine(line string) (Benchmark, bool) {
 	}
 	b := Benchmark{Name: f[0], Runs: runs, NsPerOp: ns}
 	for i := 4; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseInt(f[i], 10, 64)
+		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
 			continue
 		}
 		switch f[i+1] {
 		case "B/op":
-			b.BytesPerOp = v
+			b.BytesPerOp = int64(v)
 		case "allocs/op":
-			b.AllocsPerOp = v
+			b.AllocsPerOp = int64(v)
+		case "virtual-ns/op":
+			b.VirtualNsPerOp = v
 		}
 	}
 	return b, true

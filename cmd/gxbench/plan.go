@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"strings"
 	"time"
@@ -197,7 +198,7 @@ func runPlanExperiment(o harness.Options) (fmt.Stringer, error) {
 		if a.Err != nil {
 			return nil, fmt.Errorf("plan: entry %s failed: %w", a.Name, a.Err)
 		}
-		if a.Summary != b.Summary {
+		if !reflect.DeepEqual(a.Summary, b.Summary) {
 			return nil, fmt.Errorf("plan: entry %s differs across plans:\n%+v\n%+v", a.Name, a.Summary, b.Summary)
 		}
 		times[i] = a.Summary.Time

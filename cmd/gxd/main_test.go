@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"gxplug/gx"
 	"gxplug/internal/serve"
 )
 
@@ -212,6 +213,61 @@ func TestGXDCostAdmission(t *testing.T) {
 	}
 }
 
+// TestGXDStatsPersistence boots the daemon with -stats pointing at a
+// missing file (fresh history), runs one scenario, drains, and requires
+// the recorded predicted-vs-actual history to land in the file. A second
+// daemon booted on the same file must report the restored history size in
+// /v1/healthz before running anything.
+func TestGXDStatsPersistence(t *testing.T) {
+	statsFile := t.TempDir() + "/planner.json"
+
+	addr, _, stop, join := startGXD(t, "-stats", statsFile)
+	client := serve.NewClient(addr)
+	reply, err := client.Submit([]byte(`{"engine": "graphx", "algorithm": "cc", "dataset": "orkut", "scale": 500, "nodes": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Result(reply.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(statsFile)
+	if err != nil {
+		t.Fatalf("drain did not persist stats: %v", err)
+	}
+	st := new(gx.PlannerStats)
+	if err := json.Unmarshal(data, st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("persisted history has %d keys, want 1", st.Len())
+	}
+
+	// Reboot on the persisted file: healthz must see the history without
+	// a single submission.
+	addr2, _, stop2, join2 := startGXD(t, "-stats", statsFile)
+	resp, err := http.Get("http://" + addr2 + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h serve.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Planner != 1 {
+		t.Fatalf("restarted healthz planner = %d, want 1", h.Planner)
+	}
+	close(stop2)
+	if err := join2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestGXDBadFlags pins flag and argument failure modes without binding a
 // socket.
 func TestGXDBadFlags(t *testing.T) {
@@ -232,5 +288,12 @@ func TestGXDBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-budget", "-5s"}, io.Discard, io.Discard, nil); err == nil {
 		t.Fatal("negative budget accepted")
+	}
+	bad := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-stats", bad}, io.Discard, io.Discard, nil); err == nil {
+		t.Fatal("malformed stats file accepted")
 	}
 }

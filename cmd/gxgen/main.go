@@ -4,14 +4,23 @@
 //	gxgen -dataset orkut -scale 1000 -out orkut.el          # edge list
 //	gxgen -export -dataset orkut -scale 1000 -out orkut.gxsnap
 //	gxgen -convert twitter.el -out twitter.gxsnap           # SNAP/TSV → snapshot
+//	gxgen -batches 8 -dataset orkut -scale 1000 -out orkut.gxb
 //	gxgen -list
 //
 // -export writes any registered (dataset, scale, seed) as a snapshot;
 // running it via the `file:` dataset kind is bit-identical to
 // generating it in process, just ≥10× faster to load. -convert parses a
 // SNAP-style edge list or weighted TSV (deterministically relabeling
-// sparse vertex ids to a dense range) and writes the snapshot. Both
-// paths require -out: snapshots are binary.
+// sparse vertex ids to a dense range) and writes the snapshot;
+// gzip-compressed inputs are detected by content and decompressed
+// transparently. Both paths require -out: snapshots are binary.
+//
+// -batches N synthesizes a deterministic timestamped batch stream over
+// the generated dataset — N batches of localized edge churn (-adds,
+// -removes per batch, confined to a -window vertex-id range) evolved
+// version by version so every remove names an edge that exists — and
+// writes it in the binary .gxb format that `file+batches:` scenario
+// specs load. The same flags always produce the same bytes.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"gxplug/gx"
 	"gxplug/internal/gen"
@@ -55,6 +65,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out     = fs.String("out", "", "output file (default stdout; required for -export/-convert)")
 		export  = fs.Bool("export", false, "write a binary CSR snapshot of the dataset instead of an edge list")
 		convert = fs.String("convert", "", "edge-list file to convert into a binary CSR snapshot (excludes -dataset/-scale/-seed/-export)")
+		batches = fs.Int("batches", 0, "synthesize a timestamped .gxb batch stream with this many batches over the generated dataset (requires -out)")
+		adds    = fs.Int("adds", 8, "edge adds per batch (with -batches)")
+		removes = fs.Int("removes", 4, "edge removes per batch (with -batches)")
+		window  = fs.Int("window", 0, "vertex-id window batch mutations stay inside (0 = 1/16 of the graph; with -batches)")
 		list    = fs.Bool("list", false, "list datasets and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -109,11 +123,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	// -adds/-removes/-window qualify -batches and are dead without it.
+	if *batches <= 0 {
+		var dead []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "adds", "removes", "window":
+				dead = append(dead, "-"+f.Name)
+			}
+		})
+		if len(dead) > 0 {
+			return fmt.Errorf("gxgen: %s require -batches", strings.Join(dead, ", "))
+		}
+	}
+
 	// Generated output: resolve through the gx registry, so -export
 	// covers every registered dataset, not just the built-ins.
 	g, err := gx.LoadDataset(*dataset, *scale, *seed)
 	if err != nil {
 		return err
+	}
+	if *batches > 0 {
+		if *export {
+			return errors.New("gxgen: -batches writes a batch stream, not a snapshot; drop -export")
+		}
+		if *out == "" {
+			return errors.New("gxgen: -batches writes a binary stream; -out is required")
+		}
+		bs, err := gen.SynthesizeBatches(g, gen.BatchesConfig{
+			Batches: *batches, Adds: *adds, Removes: *removes, Window: *window, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := ingest.SaveBatchStreamFile(*out, bs); err != nil {
+			return err
+		}
+		var nAdds, nRemoves int
+		for _, b := range bs {
+			nAdds += len(b.Adds)
+			nRemoves += len(b.Removes)
+		}
+		fmt.Fprintf(stderr, "%s @ 1/%d seed %d -> %s: %d batches, %d adds, %d removes\n",
+			*dataset, *scale, *seed, *out, len(bs), nAdds, nRemoves)
+		return nil
 	}
 	if *export {
 		if *out == "" {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"io"
 	"os"
 	"path/filepath"
@@ -79,6 +80,97 @@ func TestConvertEdgeList(t *testing.T) {
 	}
 }
 
+// TestConvertGzipEdgeList: -convert detects gzip input by content and
+// produces a snapshot byte-identical to converting the uncompressed
+// list — the same reader path scenarios use for `.el.gz` datasets.
+func TestConvertGzipEdgeList(t *testing.T) {
+	dir := t.TempDir()
+	raw := []byte("# toy\n0 1\n1 2 2.5\n2 0\n")
+	el := filepath.Join(dir, "toy.el")
+	if err := os.WriteFile(el, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	elgz := filepath.Join(dir, "toy.el.gz")
+	if err := os.WriteFile(elgz, zbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	plain, zipped := filepath.Join(dir, "plain.gxsnap"), filepath.Join(dir, "zipped.gxsnap")
+	if err := run([]string{"-convert", el, "-out", plain}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-convert", elgz, "-out", zipped}, io.Discard, io.Discard); err != nil {
+		t.Fatalf("gzip convert: %v", err)
+	}
+	a, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("gzip-converted snapshot differs from plain conversion")
+	}
+}
+
+// TestBatchesSynthesis: -batches writes a loadable .gxb stream,
+// deterministically — the same flags produce the same bytes — and the
+// stream replays cleanly over the seed graph it was synthesized from.
+func TestBatchesSynthesis(t *testing.T) {
+	dir := t.TempDir()
+	flags := []string{"-batches", "4", "-dataset", "orkut", "-scale", "20000", "-seed", "7", "-adds", "5", "-removes", "3"}
+	first := filepath.Join(dir, "a.gxb")
+	var diag bytes.Buffer
+	if err := run(append(flags, "-out", first), io.Discard, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diag.String(), "4 batches, 20 adds, 12 removes") {
+		t.Fatalf("batch diagnostic missing: %s", diag.String())
+	}
+	second := filepath.Join(dir, "b.gxb")
+	if err := run(append(flags, "-out", second), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical -batches invocations wrote different bytes")
+	}
+
+	batches, err := ingest.LoadBatchStreamFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 4 {
+		t.Fatalf("stream has %d batches, want 4", len(batches))
+	}
+	g, err := gen.Load(gen.Orkut, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bt := range batches {
+		if g, err = g.ApplyBatch(bt); err != nil {
+			t.Fatalf("batch %d does not apply to its seed graph: %v", i, err)
+		}
+	}
+}
+
 func TestEdgeListStdoutRoundTrip(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-dataset", "wrn", "-scale", "200000"}, &out, io.Discard); err != nil {
@@ -100,6 +192,10 @@ func TestFlagErrors(t *testing.T) {
 		"convert-with-dataset":   {"-convert", "x.el", "-out", "x.snap", "-dataset", "orkut"},
 		"unknown-dataset":        {"-dataset", "giraph-graph"},
 		"missing-convert-source": {"-convert", "definitely-missing.el", "-out", "x.snap"},
+		"batches-without-out":    {"-batches", "3"},
+		"batches-with-export":    {"-batches", "3", "-export", "-out", "x.gxb"},
+		"dead-adds":              {"-adds", "5"},
+		"dead-window":            {"-window", "64", "-dataset", "orkut"},
 	} {
 		if err := run(args, io.Discard, io.Discard); err == nil {
 			t.Errorf("%s: %v accepted", name, args)

@@ -18,6 +18,7 @@
 //	gxrun -scenario crashy.json -checkpoint ckpt -resume
 //	gxrun -remote 127.0.0.1:8080 -suite suite.json
 //	gxrun -suite suite.json -manifest datasets.json
+//	gxrun -scenario dynamic.json -batches       # per-batch convergence table
 //
 // Alongside registered generator names, -dataset (and the dataset field
 // of scenario/suite JSON) accepts the `file:` kind: file:PATH sniffs
@@ -67,6 +68,16 @@
 // run. The simulated checkpoint cost is part of the virtual clock, so
 // checkpointed runs are comparable with each other, not with
 // checkpoint-free runs.
+//
+// Dynamic graphs: a scenario may carry a "batches" spec — timestamped
+// edge deltas, inline or as a `file+batches:stream.gxb` reference — and
+// the run then re-executes the algorithm at every batch boundary,
+// incrementally by default (bit-identical to from-scratch, per the
+// conformance matrix) or from scratch with "mode": "scratch". The
+// summary reports the totals across boundaries; -batches adds a
+// per-boundary convergence table (delta size, dirty cone, supersteps,
+// charged apply cost, attrs digest). Batch streams are synthesized or
+// converted by `gxgen -batches`.
 //
 // -remote ADDR submits -scenario/-suite to a gxd daemon instead of
 // running locally: the file is POSTed to /v1/submit and the NDJSON
@@ -143,6 +154,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		resume       = fs.Bool("resume", false, "continue from the cut in -checkpoint instead of starting fresh")
 		remoteAddr   = fs.String("remote", "", "gxd daemon address: submit -scenario/-suite there instead of running locally")
 		manifestPath = fs.String("manifest", "", "JSON dataset manifest: logical names -> pinned file: references, resolved before validation")
+		batchTable   = fs.Bool("batches", false, "print the per-batch convergence table (requires a -scenario with a batches spec)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -255,6 +267,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
+	if *batchTable && s.Batches == nil {
+		return errors.New("gxrun: -batches requires a -scenario with a batches spec (there is no flag syntax for batch streams)")
+	}
 
 	// Load the graph up front so its stats can be printed; gx.Run uses the
 	// same loader, so handing the instance over changes nothing. A resumed
@@ -324,6 +339,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	report(stdout, s, g, res)
+	if *batchTable {
+		renderBatches(stdout, res.Batches)
+	}
 	if len(s.Faults) > 0 {
 		fmt.Fprintf(stdout, "  faults      : %d injected, %d stall retries absorbed\n", rt.faults, rt.retries)
 	}
@@ -450,6 +468,23 @@ func renderPlan(w io.Writer, plan gx.Plan, suite gx.Suite, sp *gx.SuitePlan) {
 	}
 	fmt.Fprintf(w, "  predicted: serial %v, makespan %v on pool %d\n",
 		sp.PredictedSerial, sp.PredictedMakespan, sp.Pool)
+}
+
+// renderBatches prints the per-batch convergence table of a dynamic run:
+// one row per batch boundary in stream order. Seq 0 is the seed graph
+// (its delta columns are zero); each later row shows the delta size, the
+// dirty cone the incremental replay started from, how many supersteps the
+// boundary needed, its charged batch-application cost, and the boundary's
+// full attrs digest — the value the conformance tests compare against a
+// from-scratch run.
+func renderBatches(w io.Writer, batches []gx.BatchResult) {
+	fmt.Fprintf(w, "  batches     : %d boundaries\n", len(batches))
+	fmt.Fprintf(w, "    %4s %6s %6s %7s %8s %12s %14s  %s\n",
+		"seq", "adds", "drops", "dirty", "iter", "apply", "time", "digest")
+	for _, b := range batches {
+		fmt.Fprintf(w, "    %4d %6d %6d %7d %8d %12v %14v  %s\n",
+			b.Seq, b.Adds, b.Removes, b.Dirty, b.Iterations, b.ApplyTime, b.Time, b.AttrsDigest)
+	}
 }
 
 // renderProgress prints one suite -progress line; the remote stream path

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -388,6 +389,48 @@ func TestCheckpointResumeCLI(t *testing.T) {
 	if contract(resumed.String()) != contract(want.String()) {
 		t.Fatalf("resumed report differs from uninterrupted run:\n--- resumed\n%s--- clean\n%s",
 			resumed.String(), want.String())
+	}
+}
+
+// TestBatchesTableCLI drives a dynamic scenario through the CLI:
+// -batches renders one convergence row per batch boundary (seed graph
+// plus each delta), each carrying the boundary's attrs digest; without
+// the flag the summary stays table-free; and the flag is loud when the
+// scenario has no batch spec.
+func TestBatchesTableCLI(t *testing.T) {
+	scenario := "../../gx/testdata/digest-batches.json" // 2 inline batches
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", scenario, "-batches"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "batches     : 3 boundaries") {
+		t.Fatalf("batch table header missing:\n%s", s)
+	}
+	for _, col := range []string{"seq", "adds", "drops", "dirty", "iter", "apply", "time", "digest"} {
+		if !strings.Contains(s, col) {
+			t.Fatalf("batch table missing column %q:\n%s", col, s)
+		}
+	}
+	if rows := regexp.MustCompile(`(?m)^ +\d+ +\d+ +\d+ +\d+ +\d+ .* [0-9a-f]{16}`).FindAllString(s, -1); len(rows) != 3 {
+		t.Fatalf("want 3 digest-bearing table rows, got %d:\n%s", len(rows), s)
+	}
+
+	var plain bytes.Buffer
+	if err := run([]string{"-scenario", scenario}, &plain, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "batches     :") {
+		t.Fatalf("table printed without -batches:\n%s", plain.String())
+	}
+
+	err := run([]string{"-algo", "pagerank", "-batches"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-batches requires") {
+		t.Fatalf("dead -batches accepted without a batch scenario: %v", err)
+	}
+	err = run([]string{"-suite", "testdata/suite-pagerank-mix.json", "-batches"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-batches") {
+		t.Fatalf("-batches accepted alongside -suite: %v", err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"gxplug/internal/gen/ingest"
 	"gxplug/internal/graph"
 	"gxplug/internal/memo"
 )
@@ -32,6 +33,7 @@ type DatasetCache struct {
 	graphs  *memo.Table[graphKey, loadedGraph]
 	digests *memo.Table[statKey, fileDigest]
 	files   *memo.Table[fileKey, loadedGraph]
+	streams *memo.Table[streamKey, loadedBatches]
 	parts   *graph.PartitionCache
 }
 
@@ -69,6 +71,19 @@ type loadedGraph struct {
 	err error
 }
 
+// streamKey identifies one batch-stream file by path and content digest,
+// so a stream rewritten between suites becomes a distinct entry exactly
+// like a rewritten `file:` dataset does.
+type streamKey struct {
+	path   string
+	digest uint64
+}
+
+type loadedBatches struct {
+	batches []EdgeBatch
+	err     error
+}
+
 // CacheStats snapshots a DatasetCache's activity.
 type CacheStats struct {
 	// GraphHits counts Graph calls answered from the cache; GraphLoads
@@ -87,6 +102,7 @@ func NewDatasetCache() *DatasetCache {
 		graphs:  memo.NewTable[graphKey, loadedGraph](),
 		digests: memo.NewTable[statKey, fileDigest](),
 		files:   memo.NewTable[fileKey, loadedGraph](),
+		streams: memo.NewTable[streamKey, loadedBatches](),
 		parts:   graph.NewPartitionCache(),
 	}
 }
@@ -124,18 +140,9 @@ func (c *DatasetCache) fileGraph(name string, fd fileDataset) (*Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gx: dataset %q: %w", name, err)
 	}
-	st, err := os.Stat(fd.path)
+	d, err := c.fileDigests(fd.path)
 	if err != nil {
 		return nil, fmt.Errorf("gx: dataset %q: %w", name, err)
-	}
-	sk := statKey{path: fd.path, size: st.Size(), mtimeNanos: st.ModTime().UnixNano()}
-	d := c.digests.Get(sk, func() fileDigest {
-		digest, sha, err := fd.digests()
-		return fileDigest{digest: digest, sha256: sha, err: err}
-	})
-	if d.err != nil {
-		c.digests.Drop(sk)
-		return nil, fmt.Errorf("gx: dataset %q: %w", name, d.err)
 	}
 	// A reference that pins a digest is verified against the memoized
 	// pass before the load is consulted; the digest entry itself stays
@@ -169,18 +176,81 @@ func (c *DatasetCache) contentSHA(name string) (sha string, ok bool, err error) 
 	if !ok || err != nil {
 		return "", ok, err
 	}
-	st, err := os.Stat(fd.path)
+	d, err := c.fileDigests(fd.path)
 	if err != nil {
 		return "", true, fmt.Errorf("gx: dataset %q: %w", name, err)
 	}
-	sk := statKey{path: fd.path, size: st.Size(), mtimeNanos: st.ModTime().UnixNano()}
+	return d.sha256, true, nil
+}
+
+// fileDigests returns the memoized (CRC64, SHA-256) content digests of
+// the file at path, keyed by the file's stat identity — the shared
+// digest pass behind file-backed graph loads, result-cache keys and
+// batch streams. Failed passes are shared with concurrent waiters but
+// not memoized beyond the attempt.
+func (c *DatasetCache) fileDigests(path string) (fileDigest, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return fileDigest{}, err
+	}
+	sk := statKey{path: path, size: st.Size(), mtimeNanos: st.ModTime().UnixNano()}
 	d := c.digests.Get(sk, func() fileDigest {
-		digest, sha, err := fd.digests()
+		digest, sha, err := ingest.FileDigests(path)
 		return fileDigest{digest: digest, sha256: sha, err: err}
 	})
 	if d.err != nil {
 		c.digests.Drop(sk)
-		return "", true, fmt.Errorf("gx: dataset %q: %w", name, d.err)
+		return fileDigest{}, d.err
+	}
+	return d, nil
+}
+
+// BatchStream returns the memoized parsed batches of a `file+batches:`
+// stream reference for the file's current content, loading it on first
+// request. A pinned digest is verified against the memoized digest pass;
+// a rewritten stream file (changed size/mtime) is re-digested and parsed
+// as a distinct entry. Callers must not mutate the returned batches.
+func (c *DatasetCache) BatchStream(name string) ([]EdgeBatch, error) {
+	ref, err := parseBatchRef(name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := c.fileDigests(ref.path)
+	if err != nil {
+		return nil, fmt.Errorf("gx: batch stream %q: %w", name, err)
+	}
+	if ref.sha256 != "" && d.sha256 != ref.sha256 {
+		return nil, &DigestMismatchError{Path: ref.path, Want: ref.sha256, Got: d.sha256}
+	}
+	sk := streamKey{path: ref.path, digest: d.digest}
+	r := c.streams.Get(sk, func() loadedBatches {
+		// The pinned digest was verified above; load without re-reading it.
+		b, err := batchRef{path: ref.path}.load()
+		if err != nil {
+			err = fmt.Errorf("gx: batch stream %q: %w", name, err)
+		}
+		return loadedBatches{batches: b, err: err}
+	})
+	if r.err != nil {
+		c.streams.Drop(sk)
+	}
+	return r.batches, r.err
+}
+
+// batchSHA returns the memoized SHA-256 content digest of the
+// scenario's batch-stream file; ok is false when the scenario has no
+// stream (inline batches are covered by the scenario digest itself).
+func (c *DatasetCache) batchSHA(s Scenario) (sha string, ok bool, err error) {
+	if s.Batches == nil || s.Batches.Stream == "" {
+		return "", false, nil
+	}
+	ref, err := parseBatchRef(s.Batches.Stream)
+	if err != nil {
+		return "", true, err
+	}
+	d, err := c.fileDigests(ref.path)
+	if err != nil {
+		return "", true, fmt.Errorf("gx: batch stream %q: %w", s.Batches.Stream, err)
 	}
 	return d.sha256, true, nil
 }
@@ -215,5 +285,6 @@ func (c *DatasetCache) Purge() {
 	c.graphs.Purge()
 	c.digests.Purge()
 	c.files.Purge()
+	c.streams.Purge()
 	c.parts.Purge()
 }

@@ -15,7 +15,7 @@ import (
 // scenario that now describes a different run. The golden fixtures in
 // testdata/digests.golden pin the current version's output; an
 // accidental change to either fails TestScenarioDigestGolden.
-const digestVersion = "gx-scenario-v1"
+const digestVersion = "gx-scenario-v2"
 
 // Digest returns the canonical identity of the scenario as a lowercase
 // hex SHA-256. Two scenarios digest equal exactly when they describe the
@@ -50,6 +50,10 @@ func (s Scenario) Digest() (string, error) {
 	if len(s.Faults) == 0 {
 		s.Faults = nil
 	}
+	// Batch streams digest canonically too: the default mode spelled out,
+	// empty inline slices nil. The stream file's *content* digest is
+	// folded in by the executor, like `file:` dataset content.
+	s.Batches = s.Batches.normalized()
 	b, err := json.Marshal(s)
 	if err != nil {
 		return "", fmt.Errorf("gx: scenario digest: %w", err)

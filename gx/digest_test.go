@@ -169,6 +169,14 @@ func TestScenarioDigestGolden(t *testing.T) {
 		got["digest-minimal.json"] != got["digest-reordered.json"] {
 		t.Errorf("equivalent fixtures digest differently: %v", got)
 	}
+	// An omitted batch mode and an explicit "incremental" describe the
+	// same run; the batch stream itself must distinguish the scenario.
+	if got["digest-batches.json"] != got["digest-batches-mode.json"] {
+		t.Errorf("default and explicit incremental mode digest differently")
+	}
+	if got["digest-batches.json"] == got["digest-minimal.json"] {
+		t.Errorf("batches fixture digests like its static counterpart")
+	}
 }
 
 // TestAttrsDigest pins the attrs digest to exact bit patterns.

@@ -121,6 +121,26 @@
 // uninterrupted run (see examples/fault-tolerance and `gxrun
 // -checkpoint`).
 //
+// Graphs need not stand still. A scenario's Batches field ([BatchSpec])
+// turns one run into a sequence over an evolving graph: a stream of
+// timestamped edge batches — inline [BatchDelta] values, or a
+// `file+batches:PATH` stream file (binary `.gxb` from `gxgen -batches`,
+// or a text delta list; gzip accepted, `#sha256=` pinnable like any
+// file reference) — applied one batch at a time, each producing a new
+// immutable graph version and a fresh convergence. The default
+// "incremental" mode replays the previous boundary's recorded
+// trajectory over the dirty cone the batch touched; "scratch" mode
+// recomputes every boundary from nothing. The two are bit-identical by
+// contract — same attributes, digests, and iteration counts at every
+// boundary — and differ only in virtual cost, with incremental never
+// slower (`make bench-dynamic` records the gap). Per-boundary reports
+// accumulate in [Result].Batches ([BatchResult]: apply time, dirty-cone
+// size, iterations, attrs digest; `gxrun -batches` tabulates them), the
+// scenario digest covers the stream content so the result cache and gxd
+// serve dynamic runs soundly, and the [Planner] prices batch boundaries
+// into its estimates (see examples/dynamic-graphs and DESIGN.md
+// "Dynamic graphs").
+//
 // Algorithms implement [Algorithm], the three-function GX-Plug template
 // (MSGGen / MSGMerge / MSGApply) re-exported here so external code never
 // imports internal packages.

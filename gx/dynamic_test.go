@@ -1,0 +1,316 @@
+package gx
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gxplug/internal/gen/ingest"
+	"gxplug/internal/graph"
+)
+
+// dynamicDeltas is the inline batch stream the dynamic conformance
+// matrix evolves the test graph with: localized adds, then a mixed
+// batch, then removes of previously added edges — all inside the seed
+// vertex range, so traces stay replayable across every boundary.
+func dynamicDeltas() []BatchDelta {
+	return []BatchDelta{
+		{Time: 1, Adds: []BatchEdge{{Src: 0, Dst: 5}, {Src: 7, Dst: 3}, {Src: 11, Dst: 2, Weight: 2}}},
+		{Time: 2, Adds: []BatchEdge{{Src: 5, Dst: 0}}, Removes: []BatchEdge{{Src: 7, Dst: 3}}},
+		{Time: 3, Adds: []BatchEdge{{Src: 2, Dst: 9}}, Removes: []BatchEdge{{Src: 0, Dst: 5}, {Src: 11, Dst: 2}}},
+	}
+}
+
+func dynamicScenario(engine, alg, mode string) Scenario {
+	return Scenario{
+		Engine: engine, Algorithm: alg,
+		Dataset: "orkut", Scale: 1200, Seed: 11, Nodes: 3,
+		Batches: &BatchSpec{Inline: dynamicDeltas(), Mode: mode},
+	}
+}
+
+// TestDynamicConformance is the dynamic differential matrix: PageRank
+// and CC on both engines over a timestamped batch stream, incremental
+// replay against from-scratch recomputation. At every batch boundary
+// the two modes must produce bit-identical attributes (equal digests),
+// identical iteration counts, identical charged apply costs — and the
+// incremental boundary must never cost more virtual time. The final
+// attribute arrays must be bit-identical too.
+func TestDynamicConformance(t *testing.T) {
+	for _, engine := range []string{"graphx", "powergraph"} {
+		for _, alg := range []string{"pagerank", "cc"} {
+			t.Run(engine+"/"+alg, func(t *testing.T) {
+				inc, err := Run(dynamicScenario(engine, alg, ""))
+				if err != nil {
+					t.Fatal(err)
+				}
+				scratch, err := Run(dynamicScenario(engine, alg, "scratch"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(inc.Batches) != len(dynamicDeltas())+1 || len(scratch.Batches) != len(inc.Batches) {
+					t.Fatalf("boundary counts: incremental %d, scratch %d, want %d",
+						len(inc.Batches), len(scratch.Batches), len(dynamicDeltas())+1)
+				}
+				for i := range inc.Batches {
+					bi, bs := inc.Batches[i], scratch.Batches[i]
+					if bi.AttrsDigest != bs.AttrsDigest {
+						t.Errorf("boundary %d: incremental attrs diverge from scratch", i)
+					}
+					if bi.Iterations != bs.Iterations {
+						t.Errorf("boundary %d: incremental ran %d supersteps, scratch %d", i, bi.Iterations, bs.Iterations)
+					}
+					if bi.ApplyTime != bs.ApplyTime {
+						t.Errorf("boundary %d: apply cost %v vs %v (must charge identically)", i, bi.ApplyTime, bs.ApplyTime)
+					}
+					if bi.Time > bs.Time {
+						t.Errorf("boundary %d: incremental makespan %v exceeds scratch %v", i, bi.Time, bs.Time)
+					}
+					if i > 0 && bs.Dirty != 0 {
+						t.Errorf("boundary %d: scratch reports dirty seed %d", i, bs.Dirty)
+					}
+				}
+				if inc.Time > scratch.Time {
+					t.Errorf("total incremental makespan %v exceeds scratch %v", inc.Time, scratch.Time)
+				}
+				if len(inc.Attrs) != len(scratch.Attrs) {
+					t.Fatalf("final attrs length %d vs %d", len(inc.Attrs), len(scratch.Attrs))
+				}
+				for v := range inc.Attrs {
+					if math.Float64bits(inc.Attrs[v]) != math.Float64bits(scratch.Attrs[v]) {
+						t.Fatalf("final attrs diverge at %d: %x vs %x",
+							v, math.Float64bits(inc.Attrs[v]), math.Float64bits(scratch.Attrs[v]))
+					}
+				}
+			})
+		}
+	}
+
+	// Pool independence: a suite of dynamic entries produces bit-identical
+	// summaries (per-boundary digests included) at every pool size.
+	var entries []SuiteEntry
+	for _, engine := range []string{"graphx", "powergraph"} {
+		for _, alg := range []string{"pagerank", "cc"} {
+			entries = append(entries,
+				SuiteEntry{Name: engine + "-" + alg + "-inc", Scenario: dynamicScenario(engine, alg, "")},
+				SuiteEntry{Name: engine + "-" + alg + "-scratch", Scenario: dynamicScenario(engine, alg, "scratch")})
+		}
+	}
+	suite := Suite{Name: "dynamic", Entries: entries}
+	var base *SuiteResult
+	for _, pool := range []int{1, 2, 4} {
+		res, err := RunSuite(suite, WithPool(pool))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		for i := range res.Entries {
+			if !reflect.DeepEqual(res.Entries[i].Summary, base.Entries[i].Summary) {
+				t.Errorf("pool %d: entry %s summary differs from pool 1", pool, res.Entries[i].Name)
+			}
+		}
+	}
+}
+
+// TestDynamicStreamResultCache is the serving contract for batch
+// streams: resubmitting a scenario over an unchanged stream file is a
+// result-cache hit with zero supersteps; rewriting the stream is a miss
+// that recomputes.
+func TestDynamicStreamResultCache(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.gxb")
+	save := func(batches []graph.EdgeBatch) {
+		t.Helper()
+		if err := ingest.SaveBatchStreamFile(path, batches); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save([]graph.EdgeBatch{
+		{Time: 1, Adds: []graph.Edge{{Src: 0, Dst: 5, Weight: 1}, {Src: 7, Dst: 3, Weight: 1}}},
+		{Time: 2, Removes: []graph.Edge{{Src: 0, Dst: 5, Weight: 1}}},
+	})
+
+	s := Scenario{
+		Engine: "graphx", Algorithm: "cc",
+		Dataset: "orkut", Scale: 1200, Seed: 11, Nodes: 2,
+		Batches: &BatchSpec{Stream: "file+batches:" + path},
+	}
+	suite := Suite{Entries: []SuiteEntry{{Name: "dyn", Scenario: s}}}
+	rc, err := NewResultCache(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewDatasetCache()
+	run := func() (EntryResult, int64) {
+		var steps int64
+		res, err := RunSuite(suite,
+			WithCache(cache), WithResultCache(rc),
+			WithSuiteObserver(func(string, Superstep) { steps++ }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return res.Entries[0], steps
+	}
+
+	first, steps1 := run()
+	if first.CacheHit || steps1 == 0 {
+		t.Fatalf("first run: hit=%v steps=%d, want computed", first.CacheHit, steps1)
+	}
+	if len(first.Summary.Batches) != 3 {
+		t.Fatalf("summary carries %d boundaries, want 3", len(first.Summary.Batches))
+	}
+
+	second, steps2 := run()
+	if !second.CacheHit || steps2 != 0 {
+		t.Fatalf("unchanged stream resubmission: hit=%v steps=%d, want hit with 0 supersteps", second.CacheHit, steps2)
+	}
+	if !reflect.DeepEqual(second.Summary, first.Summary) {
+		t.Fatal("served summary differs from computed one")
+	}
+
+	// Rewriting the stream must be a distinct key: the digest-folded
+	// result key changes, so the entry recomputes.
+	save([]graph.EdgeBatch{
+		{Time: 1, Adds: []graph.Edge{{Src: 2, Dst: 9, Weight: 1}}},
+	})
+	third, steps3 := run()
+	if third.CacheHit || steps3 == 0 {
+		t.Fatalf("rewritten stream: hit=%v steps=%d, want recompute", third.CacheHit, steps3)
+	}
+	if len(third.Summary.Batches) != 2 {
+		t.Fatalf("rewritten stream summary carries %d boundaries, want 2", len(third.Summary.Batches))
+	}
+}
+
+// TestDynamicScenarioValidation pins the batch-spec validation rules.
+func TestDynamicScenarioValidation(t *testing.T) {
+	ok := dynamicScenario("graphx", "pagerank", "")
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid dynamic scenario rejected: %v", err)
+	}
+
+	bad := map[string]func(*Scenario){
+		"empty spec":     func(s *Scenario) { s.Batches = &BatchSpec{} },
+		"stream+inline":  func(s *Scenario) { s.Batches.Stream = "file+batches:x.gxb" },
+		"unknown mode":   func(s *Scenario) { s.Batches.Mode = "lazy" },
+		"missing stream": func(s *Scenario) { s.Batches = &BatchSpec{Stream: "file+batches:/does/not/exist.gxb"} },
+		"malformed ref":  func(s *Scenario) { s.Batches = &BatchSpec{Stream: "batches:x.gxb"} },
+		"bad sha":        func(s *Scenario) { s.Batches = &BatchSpec{Stream: "file+batches:x.gxb#sha256=zz"} },
+		"times not ++":   func(s *Scenario) { s.Batches.Inline[2].Time = 2 },
+		"vertex range":   func(s *Scenario) { s.Batches.Inline[0].Adds[0].Src = -1 },
+		"bad weight":     func(s *Scenario) { s.Batches.Inline[0].Adds[0].Weight = math.Inf(1) },
+		"accel":          func(s *Scenario) { s.Accel = "cpu" },
+		"mix":            func(s *Scenario) { s.Mix = []string{"cpu", "cpu", "cpu"} },
+		"faults":         func(s *Scenario) { s.Faults = []FaultSpec{{Kind: FaultMsgStall, Node: 0, Superstep: 1}} },
+	}
+	for name, mutate := range bad {
+		s := dynamicScenario("graphx", "pagerank", "")
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: scenario accepted, want error", name)
+		}
+	}
+
+	// Checkpointing and resuming are incompatible with batch streams.
+	if _, err := Run(ok, WithCheckpoint(1, func(*CheckpointState) error { return nil })); err == nil {
+		t.Error("batches with checkpointing accepted, want error")
+	}
+	if _, err := Resume(ok, &CheckpointState{}); err == nil {
+		t.Error("batches with resume accepted, want error")
+	}
+}
+
+// TestTraceSaveLoad round-trips a recorded trajectory through its
+// snapshot-v2 persistence: the graph version bit-identical, the trace
+// rows bit-identical, malformed shapes rejected whole.
+func TestTraceSaveLoad(t *testing.T) {
+	g, err := LoadDataset("orkut", 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	tr := &Trace{AttrWidth: 2, NumV: n, Iters: 3}
+	for i := 0; i < tr.Iters; i++ {
+		attrs := make([]float64, n*2)
+		changed := make([]bool, n)
+		for v := 0; v < n; v++ {
+			attrs[2*v] = float64(v) / float64(i+1)
+			attrs[2*v+1] = -float64(i)
+			changed[v] = (v+i)%3 == 0
+		}
+		tr.Attrs = append(tr.Attrs, attrs)
+		tr.Changed = append(tr.Changed, changed)
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.gxs")
+	if err := SaveTrace(path, g, tr); err != nil {
+		t.Fatal(err)
+	}
+	g2, tr2, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != n || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("reloaded graph %dv/%de, want %dv/%de", g2.NumVertices(), g2.NumEdges(), n, g.NumEdges())
+	}
+	if tr2.Iters != tr.Iters || tr2.NumV != tr.NumV || tr2.AttrWidth != tr.AttrWidth {
+		t.Fatalf("reloaded trace shape %+v", tr2)
+	}
+	for i := 0; i < tr.Iters; i++ {
+		for k := range tr.Attrs[i] {
+			if math.Float64bits(tr2.Attrs[i][k]) != math.Float64bits(tr.Attrs[i][k]) {
+				t.Fatalf("superstep %d attr %d differs", i, k)
+			}
+		}
+		for v := range tr.Changed[i] {
+			if tr2.Changed[i][v] != tr.Changed[i][v] {
+				t.Fatalf("superstep %d frontier flag %d differs", i, v)
+			}
+		}
+	}
+
+	// A trace saved against one graph must not load against a different
+	// vertex count, and empty traces are not persistable.
+	if err := SaveTrace(path, g, &Trace{}); err == nil {
+		t.Error("empty trace saved, want error")
+	}
+	small := &Trace{AttrWidth: 1, NumV: 3, Iters: 1, Attrs: [][]float64{{1, 2, 3}}, Changed: [][]bool{{true, false, true}}}
+	if err := SaveTrace(path, g, small); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadTrace(path); err == nil {
+		t.Error("cross-shaped trace loaded, want error")
+	}
+}
+
+// BenchmarkDynamic records the incremental-vs-scratch cost on localized
+// deltas: the same stream, the two recomputation modes. The incremental
+// mode must be strictly cheaper in both real work (ns/op) and virtual
+// makespan (virtual-ns/op) — the former because the cone bounds the
+// edges and vertices touched, the latter by the replay cost contract.
+func benchmarkDynamic(b *testing.B, mode string) {
+	s := dynamicScenario("graphx", "pagerank", mode)
+	var virtual int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual += int64(res.Time)
+	}
+	b.ReportMetric(float64(virtual)/float64(b.N), "virtual-ns/op")
+}
+
+func BenchmarkDynamicIncremental(b *testing.B) { benchmarkDynamic(b, "incremental") }
+func BenchmarkDynamicScratch(b *testing.B)     { benchmarkDynamic(b, "scratch") }

@@ -1,6 +1,7 @@
 package gx
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
@@ -145,12 +146,54 @@ func (p *Planner) model(s Scenario) (CostEstimate, error) {
 	if err != nil {
 		return CostEstimate{}, err
 	}
-	return CostEstimate{
+	est := CostEstimate{
 		Supersteps: ce.Supersteps,
 		Entities:   ce.Entities,
 		Makespan:   ce.Makespan,
 		Source:     "model",
-	}, nil
+	}
+	if s.Batches != nil {
+		if err := p.scaleDynamic(s, &est); err != nil {
+			return CostEstimate{}, err
+		}
+	}
+	return est, nil
+}
+
+// scaleDynamic extends a seed-boundary estimate over a dynamic
+// scenario's batch boundaries. Iteration counts per boundary match the
+// seed's by contract; recomputation cost per boundary is the full
+// seed-boundary cost on scratch mode and is modelled at a quarter of it
+// on incremental mode (the dirty cone covers a fraction of the graph —
+// a deliberately coarse prior that [PlannerStats] history replaces with
+// recorded actuals).
+func (p *Planner) scaleDynamic(s Scenario, est *CostEstimate) error {
+	extra, err := p.batchCount(s)
+	if err != nil {
+		return err
+	}
+	est.Supersteps *= 1 + extra
+	if s.Batches.incremental() {
+		est.Entities += float64(extra) * est.Entities / 4
+		est.Makespan += time.Duration(extra) * est.Makespan / 4
+	} else {
+		est.Entities *= float64(1 + extra)
+		est.Makespan *= time.Duration(1 + extra)
+	}
+	return nil
+}
+
+// batchCount returns how many batches the scenario's stream holds,
+// loading stream files through the shared cache.
+func (p *Planner) batchCount(s Scenario) (int, error) {
+	if s.Batches.Stream == "" {
+		return len(s.Batches.Inline), nil
+	}
+	b, err := p.cache.BatchStream(s.Batches.Stream)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
 }
 
 // EntryEstimate is one suite entry's prediction inside a [SuitePlan].
@@ -261,7 +304,17 @@ func scenarioKey(cache *DatasetCache, s Scenario) (key string, ok bool) {
 		return "", false
 	}
 	if haveSHA {
-		return d + "+sha256:" + sha, true
+		d += "+sha256:" + sha
+	}
+	// Batch-stream files fold in the same way: resubmitting a scenario
+	// over a rewritten stream must be a distinct key (inline batches are
+	// already covered by the scenario digest).
+	bsha, haveBatches, err := cache.batchSHA(s)
+	if err != nil {
+		return "", false
+	}
+	if haveBatches {
+		d += "+batches-sha256:" + bsha
 	}
 	return d, true
 }
@@ -346,4 +399,77 @@ func (ps *PlannerStats) Len() int {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	return len(ps.actual)
+}
+
+// plannerStatsJSON is the serialized form of a history — what
+// `gxd -stats FILE` persists across restarts. Durations are integer
+// nanoseconds so the round-trip is exact.
+type plannerStatsJSON struct {
+	Capacity int              `json:"capacity"`
+	Order    []string         `json:"order,omitempty"`
+	Actual   map[string]int64 `json:"actual,omitempty"`
+	PredSum  int64            `json:"pred_sum"`
+	ActSum   int64            `json:"act_sum"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (ps *PlannerStats) MarshalJSON() ([]byte, error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := plannerStatsJSON{
+		Capacity: ps.cap,
+		Order:    append([]string(nil), ps.order...),
+		PredSum:  ps.predSum,
+		ActSum:   ps.actSum,
+	}
+	if len(ps.actual) > 0 {
+		out.Actual = make(map[string]int64, len(ps.actual))
+		for k, v := range ps.actual {
+			out.Actual[k] = int64(v)
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, replacing the receiver's
+// state with the serialized history. Malformed histories (keys in one
+// structure but not the other) are rejected whole rather than loaded
+// partially; histories over capacity evict oldest-first, exactly as live
+// observation would have.
+func (ps *PlannerStats) UnmarshalJSON(data []byte) error {
+	var in plannerStatsJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("gx: planner stats: %w", err)
+	}
+	if in.Capacity == 0 {
+		in.Capacity = DefaultPlannerHistory
+	}
+	if in.Capacity < 1 {
+		return fmt.Errorf("gx: planner stats: capacity %d (want ≥ 1)", in.Capacity)
+	}
+	if len(in.Order) != len(in.Actual) {
+		return fmt.Errorf("gx: planner stats: %d ordered keys for %d recorded actuals", len(in.Order), len(in.Actual))
+	}
+	actual := make(map[string]time.Duration, len(in.Actual))
+	for _, k := range in.Order {
+		v, ok := in.Actual[k]
+		if !ok {
+			return fmt.Errorf("gx: planner stats: ordered key %q has no recorded actual", k)
+		}
+		if _, dup := actual[k]; dup {
+			return fmt.Errorf("gx: planner stats: duplicate key %q", k)
+		}
+		actual[k] = time.Duration(v)
+	}
+	for len(in.Order) > in.Capacity {
+		delete(actual, in.Order[0])
+		in.Order = in.Order[1:]
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.cap = in.Capacity
+	ps.actual = actual
+	ps.order = in.Order
+	ps.predSum, ps.actSum = in.PredSum, in.ActSum
+	return nil
 }

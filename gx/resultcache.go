@@ -31,6 +31,9 @@ type ResultSummary struct {
 	MiddlewareTime time.Duration `json:"middleware_time"`
 	// Totals aggregates the run's per-superstep observer reports.
 	Totals EntryTotals `json:"totals"`
+	// Batches holds the per-boundary reports of a dynamic-graph run
+	// (nil for static scenarios).
+	Batches []BatchResult `json:"batches,omitempty"`
 }
 
 // Summarize builds the summary of a completed run from its result and
@@ -54,6 +57,7 @@ func Summarize(res *Result, totals EntryTotals) ResultSummary {
 		UpperTime:      res.UpperTime,
 		MiddlewareTime: res.MiddlewareTime,
 		Totals:         totals,
+		Batches:        res.Batches,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -138,7 +139,7 @@ func TestSuiteResultCacheSecondRunFree(t *testing.T) {
 		if er.Result != nil {
 			t.Fatalf("%s: cache hit carries a Result", er.Name)
 		}
-		if er.Summary != first.Entries[i].Summary {
+		if !reflect.DeepEqual(er.Summary, first.Entries[i].Summary) {
 			t.Fatalf("%s: cached summary differs from computed:\n%+v\n%+v",
 				er.Name, er.Summary, first.Entries[i].Summary)
 		}

@@ -1,6 +1,9 @@
 package gx
 
 import (
+	"fmt"
+	"time"
+
 	"gxplug/internal/engine"
 )
 
@@ -86,7 +89,103 @@ func Run(s Scenario, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.Batches != nil {
+		return runBatches(s.Batches, cfg)
+	}
 	return engine.Run(cfg)
+}
+
+// runBatches executes a dynamic-graph scenario: the seed boundary on the
+// initial graph version, then one boundary per edge batch on the evolved
+// version. In incremental mode (the default) each boundary records its
+// trajectory and the next replays it over the dirty cone; in scratch
+// mode every boundary recomputes from nothing. Both modes charge the
+// identical batch-application cost and produce bit-identical attributes
+// at every boundary — they differ only in recomputation cost.
+func runBatches(spec *BatchSpec, cfg engine.Config) (*Result, error) {
+	// The engine enforces these too, but per boundary with less context.
+	if len(cfg.Plug) > 0 {
+		return nil, &ValidationError{Err: fmt.Errorf("scenario: batches require native execution")}
+	}
+	if cfg.CheckpointEvery > 0 || cfg.CheckpointSink != nil {
+		return nil, &ValidationError{Err: fmt.Errorf("scenario: batches cannot be combined with checkpointing")}
+	}
+	batches, err := spec.loadBatches()
+	if err != nil {
+		return nil, err
+	}
+	incMode := spec.incremental()
+
+	g, part := cfg.Graph, cfg.Partitioning
+	if part == nil {
+		part = cfg.Spec.Partition(g, cfg.Nodes)
+	}
+	obs := cfg.Observer
+
+	total := &Result{}
+	var prevG *Graph
+	var prevPart *Partitioning
+	var prevTrace *Trace
+	for b := 0; b <= len(batches); b++ {
+		var applyCost time.Duration
+		adds, removes := 0, 0
+		if b > 0 {
+			batch := batches[b-1]
+			ng, err := g.ApplyBatch(batch)
+			if err != nil {
+				return nil, fmt.Errorf("gx: batch %d: %w", b, err)
+			}
+			prevG, prevPart = g, part
+			g, part = ng, cfg.Spec.Partition(ng, cfg.Nodes)
+			adds, removes = len(batch.Adds), len(batch.Removes)
+			applyCost = engine.BatchApplyCost(adds, removes)
+		}
+		bcfg := cfg
+		bcfg.Graph, bcfg.Partitioning = g, part
+		bcfg.RecordTrace = incMode
+		dirtyCount := 0
+		if b > 0 && incMode {
+			trace := prevTrace
+			if g.NumVertices() != prevG.NumVertices() {
+				// Vertex growth invalidates the memo entirely (Init reads
+				// NumVertices); the dirty seed is all-true anyway.
+				trace = nil
+			}
+			dirty := engine.DirtySeed(prevG, g, prevPart, part)
+			for _, d := range dirty {
+				if d {
+					dirtyCount++
+				}
+			}
+			bcfg.Incremental = &engine.IncrementalRun{Trace: trace, Dirty: dirty}
+		}
+		if obs != nil {
+			seq := b
+			bcfg.Observer = func(st Superstep) {
+				st.Batch = seq
+				obs(st)
+			}
+		}
+		res, err := engine.Run(bcfg)
+		if err != nil {
+			return nil, fmt.Errorf("gx: batch boundary %d: %w", b, err)
+		}
+		// The run's totals accumulate across boundaries; the final
+		// attribute array and cluster are the last boundary's.
+		total.Attrs, total.Cluster = res.Attrs, res.Cluster
+		total.Iterations += res.Iterations
+		total.SkippedSyncs += res.SkippedSyncs
+		total.Time += res.Time + applyCost
+		total.UpperTime += res.UpperTime + applyCost
+		total.MiddlewareTime += res.MiddlewareTime
+		total.Batches = append(total.Batches, BatchResult{
+			Seq: b, Time: res.Time, ApplyTime: applyCost, Iterations: res.Iterations,
+			Adds: adds, Removes: removes, Dirty: dirtyCount,
+			AttrsDigest: AttrsDigest(res.Attrs),
+		})
+		prevTrace = res.Trace
+	}
+	return total, nil
 }
 
 // Resume continues a run from a checkpoint taken by [WithCheckpoint]
@@ -97,6 +196,9 @@ func Run(s Scenario, opts ...Option) (*Result, error) {
 // bit-identical, in final attributes and virtual makespan, to one that
 // never stopped.
 func Resume(s Scenario, st *CheckpointState, opts ...Option) (*Result, error) {
+	if s.Batches != nil {
+		return nil, &ValidationError{Err: fmt.Errorf("scenario: batches cannot resume from a checkpoint")}
+	}
 	cfg, err := prepare(s, opts)
 	if err != nil {
 		return nil, err

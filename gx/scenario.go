@@ -104,6 +104,11 @@ type Scenario struct {
 	// Requires an accelerator profile (faults live in the middleware;
 	// native execution has nothing to fault).
 	Faults []FaultSpec `json:"faults,omitempty"`
+	// Batches turns the run dynamic: the dataset is the initial graph
+	// version, and each timestamped edge batch opens a new boundary that
+	// is recomputed (incrementally by default) on the evolved graph.
+	// Requires native execution (Accel "none", no Mix) and no Faults.
+	Batches *BatchSpec `json:"batches,omitempty"`
 }
 
 // FaultSpec schedules one injected fault in a scenario's plan. Kind is
@@ -246,6 +251,18 @@ func (s Scenario) validate(have provided) error {
 	if !have.net {
 		if _, err := networkReg.lookup(s.Network); err != nil {
 			errs = append(errs, err)
+		}
+	}
+	if s.Batches != nil {
+		s.Batches.validate(fail)
+		// Incremental replay is an engine-native mechanism: the trace
+		// carries authoritative state the middleware path never sees, and
+		// a fault plan would make boundaries non-replayable.
+		if !have.plug && (s.Accel != DefaultAccel || len(s.Mix) > 0) {
+			fail("batches require native execution (accel %q)", s.Accel)
+		}
+		if len(s.Faults) > 0 {
+			fail("batches cannot be combined with fault injection")
 		}
 	}
 	return errors.Join(errs...)

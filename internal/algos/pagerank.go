@@ -83,6 +83,7 @@ func (p *PageRank) Hints() template.Hints {
 		ApplyAll:     true, // base-rank term applies even with no inbound mass
 		OpsPerEdge:   80,
 		OpsPerVertex: 40,
+		Incremental:  true,
 	}
 }
 

@@ -99,6 +99,17 @@ type Config struct {
 	// history, which a resumed run cannot reconstruct.
 	CheckpointEvery int
 	CheckpointSink  func(*CheckpointState) error
+	// RecordTrace records the full per-superstep trajectory (attributes
+	// and frontier after every superstep) into Result.Trace, the memo a
+	// later incremental run replays. Native-only: under middleware the
+	// authoritative array lags behind lazily-uploaded agent state.
+	RecordTrace bool
+	// Incremental, when non-nil, runs trajectory-replay incremental
+	// recomputation (see incremental.go): bit-identical to a from-scratch
+	// run on the same graph, computing only the dirty cone. Native-only,
+	// incompatible with faults and checkpointing, and requires the
+	// algorithm's Hints.Incremental opt-in.
+	Incremental *IncrementalRun
 	// Net overrides the cluster network (zero value: DatacenterNet).
 	Net cluster.NetworkSpec
 	// Observer, when non-nil, receives one SuperstepInfo after every
@@ -112,6 +123,10 @@ type Config struct {
 type SuperstepInfo struct {
 	// Iteration is the zero-based iteration the report describes.
 	Iteration int
+	// Batch is the batch-boundary index on dynamic-graph runs (0 for the
+	// seed run; the engine itself always reports 0 — the orchestration
+	// layer stamps it when it replays a batch stream).
+	Batch int
 	// Frontier is the number of active vertices entering the superstep.
 	Frontier int
 	// Messages and MessageBytes count the cross-node messages routed
@@ -177,6 +192,12 @@ type Result struct {
 	UpperTime      time.Duration
 	// AgentStats holds per-node middleware counters (nil when native).
 	AgentStats []gxplug.Stats
+	// Trace is the recorded trajectory (only with Config.RecordTrace).
+	Trace *Trace
+	// Batches holds per-boundary reports on dynamic-graph runs; the
+	// engine itself never sets it — the orchestration layer that replays
+	// a batch stream accumulates one entry per boundary.
+	Batches []BatchResult
 	// Cluster exposes the underlying simulation for harness inspection.
 	Cluster *cluster.Cluster
 }
@@ -238,6 +259,37 @@ func newRunner(cfg Config) (*runner, error) {
 			}
 		}
 	}
+	if cfg.RecordTrace && len(cfg.Plug) > 0 {
+		return nil, fmt.Errorf("engine: trace recording is native-only")
+	}
+	if inc := cfg.Incremental; inc != nil {
+		if len(cfg.Plug) > 0 {
+			return nil, fmt.Errorf("engine: incremental runs are native-only")
+		}
+		if len(cfg.Faults) > 0 {
+			return nil, fmt.Errorf("engine: incremental runs are incompatible with fault injection")
+		}
+		if cfg.CheckpointEvery > 0 {
+			return nil, fmt.Errorf("engine: incremental runs are incompatible with checkpointing")
+		}
+		if !cfg.Alg.Hints().Incremental {
+			return nil, fmt.Errorf("engine: algorithm %s does not support incremental recomputation", cfg.Alg.Name())
+		}
+		if len(inc.Dirty) != cfg.Graph.NumVertices() {
+			return nil, fmt.Errorf("engine: dirty seed over %d vertices, graph has %d", len(inc.Dirty), cfg.Graph.NumVertices())
+		}
+		if t := inc.Trace; t != nil {
+			if t.AttrWidth != cfg.Alg.AttrWidth() {
+				return nil, fmt.Errorf("engine: trace attr width %d, algorithm %d", t.AttrWidth, cfg.Alg.AttrWidth())
+			}
+			if t.NumV != cfg.Graph.NumVertices() {
+				return nil, fmt.Errorf("engine: trace over %d vertices, graph has %d", t.NumV, cfg.Graph.NumVertices())
+			}
+			if len(t.Attrs) != t.Iters || len(t.Changed) != t.Iters {
+				return nil, fmt.Errorf("engine: trace records %d/%d supersteps, header says %d", len(t.Attrs), len(t.Changed), t.Iters)
+			}
+		}
+	}
 	g, alg := cfg.Graph, cfg.Alg
 	part := cfg.Partitioning
 	if part == nil {
@@ -266,6 +318,12 @@ func newRunner(cfg Config) (*runner, error) {
 		for _, f := range cfg.Faults {
 			r.faultsAt[f.Superstep] = append(r.faultsAt[f.Superstep], f)
 		}
+	}
+	if cfg.Incremental != nil {
+		r.inc = newIncState(cfg.Incremental, g.NumVertices(), cfg.Nodes)
+	}
+	if cfg.RecordTrace {
+		r.traceRec = &Trace{AttrWidth: r.aw, NumV: g.NumVertices()}
 	}
 	return r, nil
 }
@@ -314,6 +372,11 @@ type runner struct {
 	mirrorPer  [][]graph.VertexID
 
 	skipped int
+
+	// inc is the incremental-recomputation state (nil on plain runs);
+	// traceRec accumulates the recorded trajectory when RecordTrace is on.
+	inc      *incState
+	traceRec *Trace
 
 	// faultsAt indexes the fault plan by superstep (nil without one).
 	faultsAt map[int][]Fault
@@ -429,6 +492,7 @@ func (r *runner) finish(iterations int) *Result {
 		Attrs:        r.attrs,
 		Iterations:   iterations,
 		SkippedSyncs: r.skipped,
+		Trace:        r.traceRec,
 		Cluster:      r.cl,
 	}
 	if r.agents != nil {
@@ -618,6 +682,9 @@ func (r *runner) loopFrom(start int, carry *gasCarry) (int, error) {
 				err = &FaultError{Kind: inj.Kind, Node: inj.Node, Superstep: iter, Err: err}
 			}
 			return iter, err
+		}
+		if r.traceRec != nil {
+			r.recordTrace()
 		}
 		iter++
 		if r.cfg.CheckpointEvery > 0 && iter%r.cfg.CheckpointEvery == 0 {

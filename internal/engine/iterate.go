@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"slices"
 
 	"gxplug/internal/graph"
@@ -276,6 +277,7 @@ func (r *runner) iterateBSP() (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	r.updateCone()
 	r.drainSpills()
 	r.distributeMirrors(mirrorUpdates, vol)
 	r.syncPhase(vol)
@@ -310,6 +312,9 @@ func (r *runner) iterateGAS(carry *gasCarry) (bool, *gasCarry, error) {
 	if err != nil {
 		return false, nil, err
 	}
+	// The cone must advance before the end-of-round scatter: its messages
+	// are consumed by the next round's apply, which replays the next memo.
+	r.updateCone()
 	r.drainSpills()
 	// Mirrors must see the applied state before the scatter reads them.
 	r.distributeMirrors(mirrorUpdates, vol)
@@ -373,8 +378,14 @@ func (r *runner) nativeGen(j int) *gxplug.GenResult {
 		res.Remote.Add(r.alg, dst, msg)
 	}
 	msgBuf := r.natMsg[j]
+	// Incremental replay: only destinations in the cone can receive a
+	// result differing from the memo, so only their messages are needed.
+	cone := r.inc.coneFilter()
 	edges := 0
 	for _, e := range part.Edges {
+		if cone != nil && !cone[e.Dst] {
+			continue
+		}
 		if !genAll && !r.active[e.Src] {
 			continue
 		}
@@ -421,13 +432,62 @@ func (r *runner) nativeApply(j int, res *gxplug.GenResult) (changed, wrote []boo
 	for mi := range changed {
 		changed[mi], wrote[mi] = false, false
 	}
-	applied := 0
+	replay := r.inc != nil && !r.inc.full
+	var memoAttrs []float64
+	var memoChanged []bool
+	var diff []graph.VertexID
+	if replay {
+		it := r.ctx.Iteration
+		memoAttrs = r.inc.trace.Attrs[it]
+		memoChanged = r.inc.trace.Changed[it]
+		diff = r.inc.diffPer[j][:0]
+	}
+	// diverged reports whether a computed cone vertex left the memoized
+	// trajectory — by attribute bits or by activity flag, both of which
+	// its out-neighbours can observe next superstep.
+	diverged := func(id graph.VertexID, row []float64, ch bool) bool {
+		if ch != memoChanged[id] {
+			return true
+		}
+		memo := memoAttrs[int(id)*r.aw : (int(id)+1)*r.aw]
+		for k := range row {
+			if math.Float64bits(row[k]) != math.Float64bits(memo[k]) {
+				return true
+			}
+		}
+		return false
+	}
+	applied, replayed := 0, 0
 	for mi, id := range part.Masters {
+		row := r.attrs[int(id)*r.aw : (int(id)+1)*r.aw]
+		if replay && !r.inc.cone[id] {
+			// Outside the cone the from-scratch result is the memo row:
+			// install it, reconstructing the written flag by bit-compare
+			// (float != would miss -0 and NaN).
+			memo := memoAttrs[int(id)*r.aw : (int(id)+1)*r.aw]
+			for k := range row {
+				if math.Float64bits(row[k]) != math.Float64bits(memo[k]) {
+					wrote[mi] = true
+					break
+				}
+			}
+			if wrote[mi] {
+				copy(row, memo)
+				replayed++
+			}
+			changed[mi] = memoChanged[id]
+			continue
+		}
 		if !applyAll && !res.LocalRecv[mi] {
+			// Skipped by the from-scratch run too; a cone vertex whose
+			// value still differs from the memo stays in the diff so the
+			// cone keeps covering its out-neighbours.
+			if replay && diverged(id, row, false) {
+				diff = append(diff, id)
+			}
 			continue
 		}
 		applied++
-		row := r.attrs[int(id)*r.aw : (int(id)+1)*r.aw]
 		copy(before, row)
 		changed[mi] = r.alg.MSGApply(r.ctx, id, row,
 			res.LocalAcc[mi*r.mw:(mi+1)*r.mw], res.LocalRecv[mi])
@@ -437,8 +497,15 @@ func (r *runner) nativeApply(j int, res *gxplug.GenResult) (changed, wrote []boo
 				break
 			}
 		}
+		if replay && diverged(id, row, changed[mi]) {
+			diff = append(diff, id)
+		}
 	}
-	cost := simtime.TimeFor(float64(applied)*r.alg.Hints().OpsPerVertex, r.cfg.Spec.NativeRate)
+	if replay {
+		r.inc.diffPer[j] = diff
+	}
+	ops := r.alg.Hints().OpsPerVertex
+	cost := simtime.TimeFor(float64(applied)*ops+float64(replayed)*min(replayOpsPerVertex, ops), r.cfg.Spec.NativeRate)
 	r.cl.Node(j).Charge(bucketUpper, cost)
 	return changed, wrote
 }

@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gxplug/internal/graph"
+)
+
+// BatchesConfig parameterizes SynthesizeBatches, the deterministic
+// batch-stream generator behind `gxgen -batches`: localized edge churn
+// over a seed graph, the workload the incremental engine is supposed to
+// win on.
+type BatchesConfig struct {
+	// Batches is the number of batches in the stream.
+	Batches int
+	// Adds and Removes are the mutation counts per batch.
+	Adds, Removes int
+	// Window bounds each batch's mutations to a contiguous vertex-ID
+	// range of this size around a randomly drawn center — small windows
+	// make localized deltas (incremental recomputation's best case),
+	// Window ≥ NumVertices makes uniform churn. 0 defaults to 1/16 of
+	// the graph (minimum 16).
+	Window int
+	Seed   int64
+}
+
+// SynthesizeBatches builds a deterministic timestamped batch stream
+// from a seed graph. The stream is evolved batch by batch via
+// ApplyBatch, so every remove names an edge that actually exists in the
+// version it applies to — streams are valid by construction. Adds stay
+// inside the seed graph's vertex range; timestamps are 1, 2, 3, ….
+func SynthesizeBatches(g *graph.Graph, c BatchesConfig) ([]graph.EdgeBatch, error) {
+	switch {
+	case g == nil:
+		return nil, fmt.Errorf("gen: synthesize batches: nil graph")
+	case g.NumVertices() < 2:
+		return nil, fmt.Errorf("gen: synthesize batches: %d vertices (want ≥ 2)", g.NumVertices())
+	case c.Batches < 1:
+		return nil, fmt.Errorf("gen: synthesize batches: %d batches (want ≥ 1)", c.Batches)
+	case c.Adds < 0 || c.Removes < 0 || c.Adds+c.Removes == 0:
+		return nil, fmt.Errorf("gen: synthesize batches: %d adds / %d removes per batch", c.Adds, c.Removes)
+	case c.Window < 0:
+		return nil, fmt.Errorf("gen: synthesize batches: window %d", c.Window)
+	}
+	n := g.NumVertices()
+	window := c.Window
+	if window == 0 {
+		window = max(n/16, 16)
+	}
+	if window > n {
+		window = n
+	}
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	cur := g
+	batches := make([]graph.EdgeBatch, 0, c.Batches)
+	for i := 0; i < c.Batches; i++ {
+		base := rng.Intn(n - window + 1)
+		b := graph.EdgeBatch{Time: int64(i) + 1}
+		seen := make(map[uint64]bool, c.Adds+c.Removes)
+		for a := 0; a < c.Adds; a++ {
+			src := graph.VertexID(base + rng.Intn(window))
+			dst := graph.VertexID(base + rng.Intn(window))
+			b.Adds = append(b.Adds, graph.Edge{Src: src, Dst: dst, Weight: 1 + 9*rng.Float64()})
+		}
+		// Removes draw existing edges from inside the window of the
+		// current version; when the window holds too few distinct edges,
+		// the remainder draws graph-wide so the batch keeps its size.
+		for r := 0; r < c.Removes; r++ {
+			e, ok := pickEdge(cur, rng, base, window, seen)
+			if !ok {
+				e, ok = pickEdge(cur, rng, 0, cur.NumVertices(), seen)
+			}
+			if !ok {
+				break // the graph ran out of removable edges
+			}
+			seen[uint64(e.Src)<<32|uint64(e.Dst)] = true
+			b.Removes = append(b.Removes, graph.Edge{Src: e.Src, Dst: e.Dst})
+		}
+		next, err := cur.ApplyBatch(b)
+		if err != nil {
+			return nil, fmt.Errorf("gen: synthesize batches: batch %d: %w", i, err)
+		}
+		cur = next
+		batches = append(batches, b)
+	}
+	return batches, nil
+}
+
+// pickEdge draws one existing out-edge whose source lies inside
+// [base, base+window), skipping (src,dst) pairs already picked. A
+// bounded number of draws keeps synthesis deterministic-time even on
+// windows that are nearly edge-free.
+func pickEdge(g *graph.Graph, rng *rand.Rand, base, window int, seen map[uint64]bool) (graph.Edge, bool) {
+	for try := 0; try < 4*window; try++ {
+		src := graph.VertexID(base + rng.Intn(window))
+		deg := g.OutDegree(src)
+		if deg == 0 {
+			continue
+		}
+		k := rng.Intn(deg)
+		var e graph.Edge
+		i := 0
+		g.OutEdges(src, func(dst graph.VertexID, w float64) {
+			if i == k {
+				e = graph.Edge{Src: src, Dst: dst, Weight: w}
+			}
+			i++
+		})
+		if !seen[uint64(e.Src)<<32|uint64(e.Dst)] {
+			return e, true
+		}
+	}
+	return graph.Edge{}, false
+}

@@ -1,0 +1,46 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBatchDecodeNoPanic drives LoadBatchStream with arbitrary bytes:
+// hostile input — truncated headers, corrupt counts, lying lengths,
+// regressing timestamps — must error, never panic, and never force
+// allocations proportional to what a header merely claims. Inputs that
+// do decode must re-encode and decode to the same batches — decoded
+// streams are stable fixed points (remove weights normalize to 1 on
+// decode, so a decoded stream re-encodes verbatim).
+func FuzzBatchDecodeNoPanic(f *testing.F) {
+	var valid bytes.Buffer
+	if err := SaveBatchStream(&valid, testBatches()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	var empty bytes.Buffer
+	if err := SaveBatchStream(&empty, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	for _, data := range corruptions(valid.Bytes()) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batches, err := LoadBatchStream(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := SaveBatchStream(&buf, batches); err != nil {
+			t.Fatalf("re-encoding a decoded batch stream failed: %v", err)
+		}
+		back, err := LoadBatchStream(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if !batchesEqual(batches, back) {
+			t.Fatal("decode → encode → decode not a fixed point")
+		}
+	})
+}

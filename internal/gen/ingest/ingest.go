@@ -17,7 +17,6 @@ package ingest
 
 import (
 	"bufio"
-	"compress/gzip"
 	"fmt"
 	"io"
 	"math"
@@ -133,16 +132,11 @@ func ParseEdgeListFile(path string) (*Parsed, error) {
 		return nil, fmt.Errorf("ingest: %w", err)
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
-	var r io.Reader = br
-	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
-		zr, err := gzip.NewReader(br)
-		if err != nil {
-			return nil, fmt.Errorf("%s: ingest: gzip: %w", path, err)
-		}
-		defer zr.Close()
-		r = zr
+	r, closeGz, err := maybeGzip(path, f)
+	if err != nil {
+		return nil, err
 	}
+	defer closeGz()
 	p, err := ParseEdgeList(r)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)

@@ -211,6 +211,7 @@ func GreedyVertexCut(g *Graph, m int) *Partitioning {
 	}
 	leastLoaded := func(cands map[int32]bool) int32 {
 		best := int32(-1)
+		//gxlint:ordered the (load, smallest id) tie-break picks a unique winner under any visit order
 		for j := range cands {
 			if best < 0 || load[j] < load[best] || (load[j] == load[best] && j < best) {
 				best = j
@@ -224,6 +225,7 @@ func GreedyVertexCut(g *Graph, m int) *Partitioning {
 		// Greedy rules (PowerGraph §5.1): prefer a node holding both
 		// endpoints, then one holding either, then the least-loaded.
 		var both map[int32]bool
+		//gxlint:ordered builds an order-free set intersection; selection happens later under a deterministic tie-break
 		for j := range sp {
 			if dp[j] {
 				if both == nil {
@@ -261,6 +263,7 @@ func GreedyVertexCut(g *Graph, m int) *Partitioning {
 		cands := places[v].nodes
 		var best int32 = -1
 		if len(cands) > 0 {
+			//gxlint:ordered the (load, smallest id) tie-break picks a unique winner under any visit order
 			for j := range cands {
 				if best < 0 || masterLoad[j] < masterLoad[best] || (masterLoad[j] == masterLoad[best] && j < best) {
 					best = j

@@ -82,6 +82,13 @@ type Hints struct {
 	// OpsPerEdge / OpsPerVertex calibrate the device cost model.
 	OpsPerEdge   float64
 	OpsPerVertex float64
+	// Incremental declares the algorithm safe for trajectory-replay
+	// incremental recomputation: its per-superstep results depend only on
+	// the previous superstep's attributes and frontier, the incident-edge
+	// structure, and the degrees the Context exposes — never on hidden
+	// state. All template algorithms satisfy this structurally; the flag
+	// is an explicit opt-in so new algorithms state the property.
+	Incremental bool
 }
 
 // InitialFrontier returns the initially active vertices for an algorithm.

@@ -57,6 +57,12 @@ var determinismTargets = []string{
 	// clocks belong only to the HTTP edge in cmd/gxd, never in here.
 	"internal/serve",
 	"gx",
+	// Dynamic graphs made the substrate and the batch-stream codec part
+	// of the reproducible world: ApplyBatch versioning and .gxb decoding
+	// feed digests the result cache keys on, so they carry the same
+	// no-wall-clock, no-map-order discipline as the engine.
+	"internal/graph",
+	"internal/gen/ingest",
 }
 
 // wireSizeTargets are the packages that decode untrusted bytes (files,

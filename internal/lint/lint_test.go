@@ -40,8 +40,8 @@ func TestPkgMatch(t *testing.T) {
 		{"gxplug/cmd/gxd", determinismTargets, false},
 		{"gxplug/internal/engine [gxplug/internal/engine.test]", determinismTargets, true},
 		{"det/internal/engine", determinismTargets, true},
-		{"gxplug/internal/gen/ingest", determinismTargets, false},
-		{"gxplug/internal/graph", determinismTargets, false},
+		{"gxplug/internal/gen/ingest", determinismTargets, true},
+		{"gxplug/internal/graph", determinismTargets, true},
 		{"gxplug/cmd/gxrun", determinismTargets, false},
 		{"gxplug/internal/gen/ingest", wireSizeTargets, true},
 		{"gxplug/internal/shm", wireSizeTargets, true},

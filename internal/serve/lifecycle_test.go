@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -282,7 +283,7 @@ func TestServeLPTPlan(t *testing.T) {
 		t.Fatalf("entry counts differ: %d vs %d", len(a.Entries), len(b.Entries))
 	}
 	for i := range a.Entries {
-		if a.Entries[i].Summary != b.Entries[i].Summary {
+		if !reflect.DeepEqual(a.Entries[i].Summary, b.Entries[i].Summary) {
 			t.Fatalf("entry %q summary differs under LPT:\n%+v\n%+v",
 				a.Entries[i].Name, a.Entries[i].Summary, b.Entries[i].Summary)
 		}

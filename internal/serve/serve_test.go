@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -108,7 +109,7 @@ func TestServeEndToEnd(t *testing.T) {
 		if !rep.CacheHit {
 			t.Fatalf("%s: not served from result cache", rep.Name)
 		}
-		if rep.Summary != res.Entries[i].Summary {
+		if !reflect.DeepEqual(rep.Summary, res.Entries[i].Summary) {
 			t.Fatalf("%s: served summary differs:\n%+v\n%+v", rep.Name, rep.Summary, res.Entries[i].Summary)
 		}
 	}

@@ -41,6 +41,11 @@ type Options struct {
 	// Manifest, when non-empty, resolves logical dataset names in every
 	// submission before validation.
 	Manifest gx.Manifest
+	// Stats, when non-nil, seeds the planner with a pre-loaded
+	// predicted-vs-actual history (gxd -stats persists one across
+	// restarts) and forces a planner to exist even without LPT or a
+	// budget, so the history keeps accumulating.
+	Stats *gx.PlannerStats
 }
 
 // maxSubmitBytes bounds a submission body; suites are small JSON.
@@ -150,10 +155,13 @@ func New(opts Options) (*Server, error) {
 		jobs:      make(map[string]*job),
 		queue:     make(chan *job, depth),
 	}
-	if s.plan == gx.LPT || s.budget > 0 {
-		stats, err := gx.NewPlannerStats(0)
-		if err != nil {
-			return nil, err
+	if s.plan == gx.LPT || s.budget > 0 || opts.Stats != nil {
+		stats := opts.Stats
+		if stats == nil {
+			var err error
+			if stats, err = gx.NewPlannerStats(0); err != nil {
+				return nil, err
+			}
 		}
 		s.planner = gx.NewPlanner(s.cache, stats)
 	}
@@ -508,8 +516,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n, evicted := len(s.jobs), s.evicted
 	s.mu.Unlock()
+	planner := 0
+	if st := s.PlannerStats(); st != nil {
+		planner = st.Len()
+	}
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, Health{OK: true, Jobs: n, Evicted: evicted, Cache: s.cache.Stats(), Results: s.results.Stats()})
+	writeJSON(w, Health{OK: true, Jobs: n, Evicted: evicted, Cache: s.cache.Stats(),
+		Results: s.results.Stats(), Planner: planner})
+}
+
+// PlannerStats exposes the server's predicted-vs-actual history, nil
+// when it runs without a planner — what `gxd -stats` persists at drain.
+func (s *Server) PlannerStats() *gx.PlannerStats {
+	if s.planner == nil {
+		return nil
+	}
+	return s.planner.Stats()
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
